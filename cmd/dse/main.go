@@ -1,0 +1,121 @@
+// Command dse reproduces the paper's §III datacenter case study: the
+// design-space sweep of brawny and wimpy inference accelerators under the
+// Table I constraints, with the figures selectable via -fig:
+//
+//	-fig 7   software-optimization ablation (throughput before/after)
+//	-fig 8   chip-level area/TDP breakdowns and peak efficiencies
+//	-fig 9   batch sweep + 10ms latency-limited batch on (64,2,2,4)
+//	-fig 10  runtime performance/efficiency across design points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"neurometer/internal/dse"
+)
+
+func main() {
+	fig := flag.Int("fig", 10, "figure to reproduce: 7, 8, 9 or 10; 0 = ablation studies; -1 = edge-scenario sweep")
+	full := flag.Bool("full", false, "evaluate the full feasible set instead of the frontier")
+	flag.Parse()
+
+	cs := dse.TableI()
+	switch *fig {
+	case -1:
+		rows, err := dse.EdgeStudy()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("edge sweep (28nm, 16mm2, 2W, LPDDR 12.8GB/s): single-image inference")
+		fmt.Printf("%-12s %9s %9s %7s | %20s | %20s\n",
+			"point", "peakTOPS", "area-mm2", "TDP-W", "resnet50 (ms, fps/W)", "mobilenet (ms, fps/W)")
+		for _, r := range rows {
+			fmt.Printf("%-12s %9.2f %9.1f %7.2f | %9.1f %9.1f | %9.2f %9.1f\n",
+				r.Point, r.PeakTOPS, r.AreaMM2, r.TDPW,
+				r.LatencyMS, r.FPSPerWatt, r.MobileLatencyMS, r.MobileFPSPerWatt)
+		}
+	case 0:
+		s, err := dse.AllAblations(cs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	case 7:
+		rows, err := dse.Fig7(cs, dse.DefaultModels(), []int{1, 4, 16, 64, 256})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %6s %12s %12s %7s\n", "model", "batch", "fps-before", "fps-after", "gain")
+		for _, r := range rows {
+			fmt.Printf("%-10s %6d %12.1f %12.1f %6.2fx\n", r.Model, r.Batch, r.FPSBefore, r.FPSAfter, r.Gain())
+		}
+	case 8:
+		cands := candidates(cs, *full)
+		rows := dse.Fig8(cands)
+		fmt.Printf("%-14s %9s %9s %8s %9s %12s  breakdown (mm2)\n",
+			"point", "peakTOPS", "area", "TDP", "TOPS/W", "TOPS/TCO")
+		for _, r := range rows {
+			bd := r.AreaBreakdown
+			cores := bd.Find("cores")
+			fmt.Printf("%-14s %9.2f %8.1f %7.1fW %9.3f %12.6f  tu=%.0f mem=%.0f vu=%.0f su=%.0f cdb=%.0f noc=%.0f\n",
+				r.Point, r.PeakTOPS, r.AreaMM2, r.TDPW, r.PeakTOPSPerW, r.PeakTOPSPerTCO*1e3,
+				cores.Child("tu").AreaMM2, cores.Child("mem").AreaMM2,
+				cores.Child("vu").AreaMM2, cores.Child("su").AreaMM2,
+				cores.Child("cdb").AreaMM2, bd.Child("noc").AreaMM2)
+		}
+	case 9:
+		rows, limits, err := dse.Fig9(cs, dse.DefaultModels(), []int{1, 2, 4, 8, 16, 32, 64, 128, 256})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %6s %10s %10s %s\n", "model", "batch", "fps", "latency", "SLO10")
+		for _, r := range rows {
+			fmt.Printf("%-10s %6d %10.1f %8.2fms %v\n", r.Model, r.Batch, r.FPS, r.LatencyMS, r.MeetsSLO10)
+		}
+		fmt.Println("\n10ms latency-limited batch sizes (paper: resnet=16, nasnet=4, inception=32):")
+		for _, m := range []string{"resnet", "nasnet", "inception"} {
+			fmt.Printf("  %-10s %d\n", m, limits[m])
+		}
+	case 10:
+		cands := dse.SecondRound(candidates(cs, *full), cs.TOPSCap)
+		out, err := dse.Fig10(cands, dse.DefaultModels())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range []string{"a-small", "b-medium", "c-large"} {
+			rows := out[name]
+			fmt.Printf("== Fig 10(%s) ==\n%s", name, dse.FormatRuntimeRows(rows))
+			report := func(label string, f func(dse.RuntimeRow) float64) {
+				w, err := dse.Winner(rows, f)
+				if err == nil {
+					fmt.Printf("  best %-12s %s\n", label, w.Point)
+				}
+			}
+			report("throughput", dse.ByAchievedTOPS)
+			report("utilization", dse.ByUtilization)
+			report("TOPS/W", dse.ByTOPSPerWatt)
+			report("TOPS/TCO", dse.ByTOPSPerTCO)
+			fmt.Println()
+		}
+	default:
+		log.Fatalf("unknown figure %d", *fig)
+	}
+}
+
+func candidates(cs dse.Constraints, full bool) []dse.Candidate {
+	cands := dse.Enumerate(cs)
+	if !full {
+		cands = dse.Frontier(cands, cs.TOPSCap)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.PeakTOPS != b.PeakTOPS {
+			return a.PeakTOPS > b.PeakTOPS
+		}
+		return a.Point.X > b.Point.X
+	})
+	return cands
+}

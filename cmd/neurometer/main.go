@@ -1,0 +1,198 @@
+// Command neurometer is the generic front end of the framework: it reads an
+// accelerator description from a JSON file (or builds one of the bundled
+// presets) and prints the power/area/timing report, optionally followed by
+// a runtime simulation of a bundled workload.
+//
+// Example:
+//
+//	neurometer -preset tpuv1
+//	neurometer -config my-chip.json -workload resnet -batch 16
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"neurometer"
+	"neurometer/internal/refchips"
+)
+
+// jsonConfig is the user-facing JSON schema; it mirrors neurometer.Config
+// with string enums for data types, topologies and port kinds.
+type jsonConfig struct {
+	Name    string  `json:"name"`
+	TechNM  int     `json:"tech_nm"`
+	Vdd     float64 `json:"vdd,omitempty"`
+	ClockHz float64 `json:"clock_hz,omitempty"`
+	// TargetTOPS lets the tool search the clock instead.
+	TargetTOPS float64 `json:"target_tops,omitempty"`
+	Tx         int     `json:"tx"`
+	Ty         int     `json:"ty"`
+
+	Core struct {
+		NumTUs         int    `json:"num_tus"`
+		TURows         int    `json:"tu_rows"`
+		TUCols         int    `json:"tu_cols"`
+		TUDataType     string `json:"tu_data_type"`
+		TUInterconnect string `json:"tu_interconnect,omitempty"` // unicast | multicast
+		NumRTs         int    `json:"num_rts,omitempty"`
+		RTInputs       int    `json:"rt_inputs,omitempty"`
+		VULanes        int    `json:"vu_lanes,omitempty"`
+		HasSU          bool   `json:"has_su,omitempty"`
+		Mem            []struct {
+			Name          string `json:"name"`
+			CapacityBytes int64  `json:"capacity_bytes"`
+			BlockBytes    int    `json:"block_bytes,omitempty"`
+			Banks         int    `json:"banks,omitempty"`
+		} `json:"mem"`
+	} `json:"core"`
+
+	NoCBisectionGBps float64 `json:"noc_bisection_gbps,omitempty"`
+	OffChip          []struct {
+		Kind  string  `json:"kind"` // ddr | hbm | pcie | ici | dma
+		GBps  float64 `json:"gbps"`
+		Count int     `json:"count,omitempty"`
+	} `json:"off_chip,omitempty"`
+	WhiteSpaceFrac float64 `json:"white_space_frac,omitempty"`
+	AreaBudgetMM2  float64 `json:"area_budget_mm2,omitempty"`
+	PowerBudgetW   float64 `json:"power_budget_w,omitempty"`
+}
+
+func (j jsonConfig) toConfig() (neurometer.Config, error) {
+	cfg := neurometer.Config{
+		Name: j.Name, TechNM: j.TechNM, Vdd: j.Vdd,
+		ClockHz: j.ClockHz, TargetTOPS: j.TargetTOPS,
+		Tx: j.Tx, Ty: j.Ty,
+		NoCBisectionGBps: j.NoCBisectionGBps,
+		WhiteSpaceFrac:   j.WhiteSpaceFrac,
+		AreaBudgetMM2:    j.AreaBudgetMM2,
+		PowerBudgetW:     j.PowerBudgetW,
+	}
+	dt := map[string]neurometer.DataType{
+		"": neurometer.Int8, "int8": neurometer.Int8, "int16": neurometer.Int16,
+		"int32": neurometer.Int32, "bf16": neurometer.BF16,
+		"fp16": neurometer.FP16, "fp32": neurometer.FP32,
+	}
+	d, ok := dt[j.Core.TUDataType]
+	if !ok {
+		return cfg, fmt.Errorf("unknown tu_data_type %q", j.Core.TUDataType)
+	}
+	cfg.Core = neurometer.CoreConfig{
+		NumTUs: j.Core.NumTUs, TURows: j.Core.TURows, TUCols: j.Core.TUCols,
+		TUDataType: d,
+		NumRTs:     j.Core.NumRTs, RTInputs: j.Core.RTInputs,
+		VULanes: j.Core.VULanes, HasSU: j.Core.HasSU,
+	}
+	for _, m := range j.Core.Mem {
+		cfg.Core.Mem = append(cfg.Core.Mem, neurometer.MemSegment{
+			Name: m.Name, CapacityBytes: m.CapacityBytes,
+			BlockBytes: m.BlockBytes, Banks: m.Banks,
+		})
+	}
+	kinds := map[string]neurometer.OffChipPort{
+		"ddr":  {Kind: neurometer.DDRPort},
+		"hbm":  {Kind: neurometer.HBMPort},
+		"pcie": {Kind: neurometer.PCIePort},
+		"ici":  {Kind: neurometer.ICILink},
+		"dma":  {Kind: neurometer.DMAEngine},
+	}
+	for _, p := range j.OffChip {
+		port, ok := kinds[p.Kind]
+		if !ok {
+			return cfg, fmt.Errorf("unknown off_chip kind %q", p.Kind)
+		}
+		port.GBps, port.Count = p.GBps, p.Count
+		cfg.OffChip = append(cfg.OffChip, port)
+	}
+	return cfg, nil
+}
+
+func main() {
+	configPath := flag.String("config", "", "JSON accelerator description")
+	preset := flag.String("preset", "", "bundled preset: tpuv1 | tpuv2 | eyeriss")
+	workload := flag.String("workload", "", "optional runtime simulation: resnet | inception | nasnet | alexnet | bert")
+	batch := flag.Int("batch", 1, "batch size for the runtime simulation")
+	asJSON := flag.Bool("json", false, "emit the machine-readable JSON report instead of text")
+	asERT := flag.Bool("ert", false, "emit the Accelergy-style energy reference table (JSON)")
+	profile := flag.Bool("profile", false, "with -workload: print the per-layer runtime power profile")
+	flag.Parse()
+
+	var cfg neurometer.Config
+	switch {
+	case *preset != "":
+		switch *preset {
+		case "tpuv1":
+			cfg = refchips.TPUv1()
+		case "tpuv2":
+			cfg = refchips.TPUv2()
+		case "eyeriss":
+			cfg = refchips.Eyeriss()
+		default:
+			log.Fatalf("unknown preset %q", *preset)
+		}
+	case *configPath != "":
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var j jsonConfig
+		if err := json.Unmarshal(raw, &j); err != nil {
+			log.Fatalf("parsing %s: %v", *configPath, err)
+		}
+		cfg, err = j.toConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("either -config or -preset is required")
+	}
+
+	c, err := neurometer.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case *asERT:
+		raw, err := c.MarshalEnergyTable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(raw))
+	case *asJSON:
+		raw, err := c.MarshalReport()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(raw))
+	default:
+		fmt.Println(c.Report())
+	}
+
+	if *workload != "" {
+		g, err := neurometer.Workload(*workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := neurometer.Simulate(c, g, *batch, neurometer.DefaultSimOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := c.Efficiency(res.AchievedTOPS*1e12, res.Activity)
+		fmt.Printf("== runtime: %s @ batch %d ==\n", g.Name, *batch)
+		fmt.Printf("throughput: %.1f fps, latency %.2f ms\n", res.FPS, res.LatencySec*1e3)
+		fmt.Printf("achieved:   %.2f TOPS (%.1f%% utilization)\n", res.AchievedTOPS, res.Utilization*100)
+		fmt.Printf("power:      %.1f W -> %.3f TOPS/W, %.3g TOPS/TCO\n",
+			e.PowerW, e.TOPSPerWatt, e.TOPSPerTCO)
+		if *profile {
+			trace, err := c.RuntimeTrace(res.ActivityTrace(c))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("profile:    avg %.1f W, peak %.1f W, %.3f J over %.2f ms (%d phases)\n",
+				trace.AvgPowerW, trace.PeakPowerW, trace.EnergyJ, trace.TotalSec*1e3, len(trace.Points))
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"neurometer"
+)
+
+func TestSampleConfigParsesAndBuilds(t *testing.T) {
+	raw, err := os.ReadFile("testdata/sample.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j jsonConfig
+	if err := json.Unmarshal(raw, &j); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := j.toConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "sample-dc-chip" || cfg.Tx != 2 || cfg.Ty != 4 {
+		t.Errorf("parsed config mismatch: %+v", cfg)
+	}
+	if cfg.Core.TUDataType != neurometer.Int8 {
+		t.Errorf("data type: %v", cfg.Core.TUDataType)
+	}
+	c, err := neurometer.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PeakTOPS() < 91 || c.PeakTOPS() > 93 {
+		t.Errorf("sample chip peak: %.2f", c.PeakTOPS())
+	}
+}
+
+func TestBadConfigsRejected(t *testing.T) {
+	j := jsonConfig{}
+	j.Core.TUDataType = "fp64"
+	if _, err := j.toConfig(); err == nil {
+		t.Errorf("unknown data type must fail")
+	}
+	j = jsonConfig{}
+	j.OffChip = append(j.OffChip, struct {
+		Kind  string  `json:"kind"`
+		GBps  float64 `json:"gbps"`
+		Count int     `json:"count,omitempty"`
+	}{Kind: "optical", GBps: 1})
+	if _, err := j.toConfig(); err == nil {
+		t.Errorf("unknown port kind must fail")
+	}
+}

@@ -1,0 +1,45 @@
+// Command validate reproduces the paper's §II-C validation experiments
+// (Figs. 3-5): it builds the TPU-v1, TPU-v2 and Eyeriss models and compares
+// chip-level area/TDP and component shares against the published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"neurometer/internal/refchips"
+)
+
+func main() {
+	which := flag.String("chip", "all", "chip to validate: tpuv1 | tpuv2 | eyeriss | all")
+	flag.Parse()
+
+	run := func(name string, f func() (refchips.Report, error)) {
+		rep, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(rep)
+	}
+	switch *which {
+	case "tpuv1":
+		run("tpuv1", refchips.ValidateTPUv1)
+	case "tpuv2":
+		run("tpuv2", refchips.ValidateTPUv2)
+	case "eyeriss":
+		run("eyeriss", refchips.ValidateEyeriss)
+	case "all":
+		run("tpuv1", refchips.ValidateTPUv1)
+		run("tpuv2", refchips.ValidateTPUv2)
+		run("eyeriss", refchips.ValidateEyeriss)
+		if r, w, err := refchips.VMemPorts(); err == nil {
+			fmt.Printf("tpu-v2 vmem ports found by optimizer: %dR%dW (paper: 2R1W)\n", r, w)
+		}
+		if pe, err := refchips.EyerissPEAreaMM2(); err == nil {
+			fmt.Printf("eyeriss PE area: %.4f mm2 (published ~0.05 mm2)\n", pe)
+		}
+	default:
+		log.Fatalf("unknown chip %q", *which)
+	}
+}

@@ -1,0 +1,55 @@
+// Technology scaling study: the same accelerator architecture evaluated
+// across process nodes from 65nm to 7nm. This is the kind of cross-node
+// what-if the swappable technology backend exists for: architecture and
+// clock stay fixed; area, TDP and efficiency follow the node parameters
+// (logic density, gate energy, SRAM cells, wire RC, and the analog blocks
+// that barely shrink).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neurometer"
+)
+
+func main() {
+	nodes := []int{65, 45, 28, 16, 7}
+	fmt.Println("one architecture, five nodes: 8 cores x two 64x64 Int8 TUs, 32MB, 700GB/s HBM")
+	fmt.Printf("%6s %10s %8s %10s %10s %12s\n",
+		"node", "area-mm2", "TDP-W", "peakTOPS", "TOPS/W", "TOPS/mm2")
+	var prevEff float64
+	for _, nm := range nodes {
+		c, err := neurometer.Build(neurometer.Config{
+			Name:   fmt.Sprintf("dc-%dnm", nm),
+			TechNM: nm,
+			// 700MHz closes timing at every node down to 65nm for this
+			// datapath; deeper nodes could clock higher, but holding the
+			// clock isolates the pure backend scaling.
+			ClockHz: 700e6,
+			Tx:      2, Ty: 4,
+			Core: neurometer.CoreConfig{
+				NumTUs: 2, TURows: 64, TUCols: 64,
+				TUDataType: neurometer.Int8,
+				HasSU:      true,
+				Mem:        []neurometer.MemSegment{{Name: "spad", CapacityBytes: 4 << 20}},
+			},
+			NoCBisectionGBps: 256,
+			OffChip:          []neurometer.OffChipPort{{Kind: neurometer.HBMPort, GBps: 700}},
+		})
+		if err != nil {
+			log.Fatalf("%dnm: %v", nm, err)
+		}
+		eff := c.PeakTOPSPerWatt()
+		trend := ""
+		if prevEff > 0 {
+			trend = fmt.Sprintf("(%.2fx)", eff/prevEff)
+		}
+		fmt.Printf("%4dnm %10.1f %8.1f %10.2f %9.3f %s %11.3f\n",
+			nm, c.AreaMM2(), c.TDPW(), c.PeakTOPS(), eff, trend,
+			c.PeakTOPS()/c.AreaMM2())
+		prevEff = eff
+	}
+	fmt.Println("\nnote how the HBM interface refuses to shrink with the logic: at 7nm")
+	fmt.Println("the analog PHY is one of the largest blocks left on the die.")
+}

@@ -1,0 +1,77 @@
+// TPU-v1 modeling walkthrough: build the paper's §II-C validation target
+// with the public API and compare the modeled area/TDP and component shares
+// against the published numbers (Fig. 3) — the same experiment cmd/validate
+// automates, spelled out by hand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neurometer"
+)
+
+func main() {
+	// TPU-v1 at the architecture level: one core with a 256x256 Int8
+	// systolic array at 28nm/0.86V/700MHz; 24 MiB unified buffer (dual
+	// bank, one read + one write port), 4 MiB accumulator buffer, a weight
+	// FIFO, an activation pipeline (256-lane vector unit), two DDR3
+	// channels and a PCIe Gen3 x16 interface. The published ~21% unknown
+	// area plus the unmodeled host interface enter as white space.
+	cfg := neurometer.Config{
+		Name:   "tpu-v1",
+		TechNM: 28, Vdd: 0.86, ClockHz: 700e6,
+		Tx: 1, Ty: 1,
+		Core: neurometer.CoreConfig{
+			NumTUs: 1, TURows: 256, TUCols: 256,
+			TUDataType: neurometer.Int8,
+			VULanes:    256,
+			Mem: []neurometer.MemSegment{
+				{Name: "ub", CapacityBytes: 24 << 20, BlockBytes: 256,
+					Banks: 2, ReadPorts: 1, WritePorts: 1,
+					ReadBytesPerCycle: 256, WriteBytesPerCycle: 256},
+				{Name: "acc", CapacityBytes: 4 << 20, BlockBytes: 256, Banks: 4,
+					ReadBytesPerCycle: 1024, WriteBytesPerCycle: 1024},
+				{Name: "wfifo", CapacityBytes: 256 << 10, BlockBytes: 256,
+					ReadBytesPerCycle: 256, WriteBytesPerCycle: 64},
+			},
+		},
+		NoCTopology: neurometer.NoCBus, NoCBisectionGBps: 30,
+		OffChip: []neurometer.OffChipPort{
+			{Kind: neurometer.DDRPort, GBps: 34},
+			{Kind: neurometer.PCIePort, GBps: 14},
+		},
+		WhiteSpaceFrac: 0.26,
+	}
+
+	chip, err := neurometer.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(chip.Report())
+
+	// Compare against the published numbers the paper validates against.
+	const publishedArea, publishedTDP = 331.0, 75.0
+	areaErr := 100 * abs(chip.AreaMM2()-publishedArea) / publishedArea
+	tdpErr := 100 * abs(chip.TDPW()-publishedTDP) / publishedTDP
+	fmt.Printf("== published comparison (Fig. 3) ==\n")
+	fmt.Printf("area: %.1f mm2 vs <%.0f mm2 published (%.1f%% err; paper <10%%)\n",
+		chip.AreaMM2(), publishedArea, areaErr)
+	fmt.Printf("TDP:  %.1f W vs %.0f W published (%.1f%% err; paper <5%%)\n",
+		chip.TDPW(), publishedTDP, tdpErr)
+	fmt.Printf("peak: %.2f TOPS (published 92 TOPS)\n", chip.PeakTOPS())
+
+	bd := chip.AreaBreakdown()
+	fmt.Printf("systolic array share: %.1f%% (published 24%%)\n",
+		100*bd.Find("tu").AreaMM2/chip.AreaMM2())
+	fmt.Printf("on-chip memory share: %.1f%% (published UB+ACC ~35%%)\n",
+		100*bd.Find("mem").AreaMM2/chip.AreaMM2())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

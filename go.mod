@@ -1,0 +1,3 @@
+module neurometer
+
+go 1.22

@@ -1,0 +1,144 @@
+// Package cdb models NeuroMeter's Central Data Bus: the intra-core
+// interconnect between the VReg and the other functional components (TU,
+// VU, Mem). Following §II-A, wires are assumed to route around the
+// functional components, with length estimated as the square root of the
+// component area, and are pipelined when long to meet the throughput
+// requirement.
+package cdb
+
+import (
+	"fmt"
+	"math"
+
+	"neurometer/internal/circuit"
+	"neurometer/internal/pat"
+	"neurometer/internal/tech"
+)
+
+// Endpoint is one component the bus connects to the VReg hub.
+type Endpoint struct {
+	Name string
+	// AreaUM2 of the component: the wire to it routes around it, so its
+	// length is sqrt(area).
+	AreaUM2 float64
+	// Bits of the connection (e.g. TU row width x operand bits).
+	Bits int
+}
+
+// Config describes a core's central data bus.
+type Config struct {
+	Node tech.Node
+	// Endpoints lists the components hanging off the VReg.
+	Endpoints []Endpoint
+	// CoreAreaUM2 is the total core area; the average route also crosses a
+	// fraction of the core.
+	CoreAreaUM2 float64
+	// CyclePS is the target clock period (pipelining threshold).
+	CyclePS float64
+}
+
+// Bus is an evaluated central data bus.
+type Bus struct {
+	Cfg Config
+
+	perEndpoint []pat.Result
+	stages      []int
+	areaUM2     float64
+	leakUW      float64
+	critPS      float64
+}
+
+// Build evaluates the bus.
+func Build(cfg Config) (*Bus, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("cdb: at least one endpoint required")
+	}
+	if cfg.CyclePS <= 0 {
+		return nil, fmt.Errorf("cdb: CyclePS must be positive")
+	}
+	b := &Bus{Cfg: cfg}
+	for _, ep := range cfg.Endpoints {
+		if ep.Bits <= 0 {
+			return nil, fmt.Errorf("cdb: endpoint %q has no width", ep.Name)
+		}
+		lengthMM := math.Sqrt(ep.AreaUM2)/1000 + math.Sqrt(cfg.CoreAreaUM2)/1000*0.25
+		w := circuit.Wire{
+			Node: cfg.Node, Layer: tech.WireIntermediate,
+			LengthMM: lengthMM,
+			Bits:     ep.Bits,
+		}
+		res, st := w.Pipelined(cfg.CyclePS)
+		b.perEndpoint = append(b.perEndpoint, res)
+		b.stages = append(b.stages, st)
+		b.areaUM2 += res.AreaUM2
+		b.leakUW += res.LeakUW
+		if res.DelayPS > b.critPS {
+			b.critPS = res.DelayPS
+		}
+	}
+	return b, nil
+}
+
+// AreaUM2 returns the total bus area.
+func (b *Bus) AreaUM2() float64 { return b.areaUM2 }
+
+// LeakUW returns total leakage.
+func (b *Bus) LeakUW() float64 { return b.leakUW }
+
+// CritPathPS returns the slowest (per-stage) wire delay.
+func (b *Bus) CritPathPS() float64 { return b.critPS }
+
+// TransferEnergyPJ returns the energy of one full-width transfer to the
+// named endpoint (0 if absent).
+func (b *Bus) TransferEnergyPJ(name string) float64 {
+	for i, ep := range b.Cfg.Endpoints {
+		if ep.Name == name {
+			return b.perEndpoint[i].DynPJ
+		}
+	}
+	return 0
+}
+
+// EnergyPerBytePJ returns the average per-byte transfer energy across all
+// endpoints.
+func (b *Bus) EnergyPerBytePJ() float64 {
+	var pj, bytes float64
+	for i, ep := range b.Cfg.Endpoints {
+		pj += b.perEndpoint[i].DynPJ
+		bytes += float64(ep.Bits) / 8
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return pj / bytes
+}
+
+// Stages returns the pipeline depth of the named endpoint's wire (-1 if
+// absent).
+func (b *Bus) Stages(name string) int {
+	for i, ep := range b.Cfg.Endpoints {
+		if ep.Name == name {
+			return b.stages[i]
+		}
+	}
+	return -1
+}
+
+// Result summarizes the bus; DynPJ is the average endpoint transfer.
+func (b *Bus) Result() pat.Result {
+	var dyn float64
+	for _, r := range b.perEndpoint {
+		dyn += r.DynPJ
+	}
+	return pat.Result{
+		AreaUM2: b.areaUM2,
+		DynPJ:   dyn / float64(len(b.perEndpoint)),
+		LeakUW:  b.leakUW,
+		DelayPS: b.critPS,
+	}
+}
+
+func (b *Bus) String() string {
+	return fmt.Sprintf("cdb[%d endpoints area=%.3fmm2 crit=%.0fps]",
+		len(b.Cfg.Endpoints), b.areaUM2/1e6, b.critPS)
+}

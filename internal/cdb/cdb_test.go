@@ -1,0 +1,92 @@
+package cdb
+
+import (
+	"testing"
+
+	"neurometer/internal/tech"
+)
+
+const cycle700 = 1e12 / 700e6
+
+func cfg() Config {
+	return Config{
+		Node: tech.MustByNode(28),
+		Endpoints: []Endpoint{
+			{Name: "tu", AreaUM2: 5e6, Bits: 512},
+			{Name: "vu", AreaUM2: 1e6, Bits: 512},
+			{Name: "mem", AreaUM2: 10e6, Bits: 2048},
+		},
+		CoreAreaUM2: 30e6,
+		CyclePS:     cycle700,
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	c := cfg()
+	c.Endpoints = nil
+	if _, err := Build(c); err == nil {
+		t.Errorf("no endpoints must fail")
+	}
+	c = cfg()
+	c.CyclePS = 0
+	if _, err := Build(c); err == nil {
+		t.Errorf("zero cycle must fail")
+	}
+	c = cfg()
+	c.Endpoints[0].Bits = 0
+	if _, err := Build(c); err == nil {
+		t.Errorf("zero-width endpoint must fail")
+	}
+}
+
+func TestWireLengthFollowsComponentArea(t *testing.T) {
+	// Bigger components mean longer routes (sqrt of area) and so more
+	// transfer energy (§II-A CDB rule).
+	b, err := Build(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuE := b.TransferEnergyPJ("tu") / 512
+	memE := b.TransferEnergyPJ("mem") / 2048
+	if memE <= tuE {
+		t.Errorf("per-bit energy to the larger component must be higher: mem=%g tu=%g", memE, tuE)
+	}
+	if b.TransferEnergyPJ("nope") != 0 {
+		t.Errorf("unknown endpoint must report 0")
+	}
+}
+
+func TestPipeliningOnBigCores(t *testing.T) {
+	big := cfg()
+	big.Endpoints[2].AreaUM2 = 150e6 // a 150mm2 memory: ~12mm route
+	big.CoreAreaUM2 = 400e6
+	b, err := Build(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stages("mem") < 1 {
+		t.Errorf("12mm bus at 700MHz must pipeline, got %d stages", b.Stages("mem"))
+	}
+	if b.CritPathPS() > cycle700 {
+		t.Errorf("pipelined bus must fit the cycle: %.0fps", b.CritPathPS())
+	}
+	if b.Stages("nope") != -1 {
+		t.Errorf("unknown endpoint stage must be -1")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	b, err := Build(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AreaUM2() <= 0 || b.EnergyPerBytePJ() <= 0 {
+		t.Errorf("degenerate: area=%g e=%g", b.AreaUM2(), b.EnergyPerBytePJ())
+	}
+	if !b.Result().Valid() {
+		t.Errorf("invalid result")
+	}
+	if b.String() == "" {
+		t.Errorf("empty string")
+	}
+}

@@ -1,0 +1,261 @@
+package chip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"neurometer/internal/noc"
+	"neurometer/internal/pat"
+	"neurometer/internal/periph"
+	"neurometer/internal/tech"
+)
+
+// TDP assumptions: activity factors at thermal design conditions, and the
+// guardband that chip vendors rate TDP above the modeled worst realistic
+// power (voltage/temperature margin, power viruses).
+const (
+	tdpActTU     = 1.0
+	tdpActVU     = 0.5
+	tdpActMem    = 0.85
+	tdpActNoC    = 0.5
+	tdpActSU     = 0.7
+	tdpActCDB    = 0.7
+	tdpActIO     = 0.9
+	tdpGuardband = 1.15
+)
+
+// Chip is a fully evaluated accelerator chip.
+type Chip struct {
+	Cfg  Config
+	Node tech.Node
+
+	Core   *Core
+	NoC    *noc.Network
+	Periph []*periph.Port
+
+	clockHz float64
+	cyclePS float64
+	tiles   int
+
+	// misc is the top-level control/config/clock-spine logic block.
+	misc pat.Result
+}
+
+// Build constructs and evaluates a chip from the high-level configuration,
+// performing the clock search and budget checks.
+func Build(cfg Config) (*Chip, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	node, err := tech.ByNode(cfg.TechNM)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Vdd > 0 {
+		node = node.WithVdd(cfg.Vdd)
+	}
+	tiles := cfg.Tx * cfg.Ty
+
+	// ---- Clock: fixed, or solved from the TOPS target -----------------------
+	clockHz := cfg.ClockHz
+	if clockHz <= 0 {
+		// Peak ops/cycle depends only on the static configuration; solve
+		// clock = TOPS / opsPerCycle, then verify timing below.
+		probe, err := buildCore(cfg.Core, node, 1e6) // relaxed cycle probe
+		if err != nil {
+			return nil, err
+		}
+		opsPerCycle := probe.PeakOpsPerCycle() * float64(tiles)
+		if opsPerCycle <= 0 {
+			return nil, fmt.Errorf("chip: zero peak throughput")
+		}
+		clockHz = cfg.TargetTOPS * 1e12 / opsPerCycle
+	}
+	cyclePS := 1e12 / clockHz
+
+	c := &Chip{Cfg: cfg, Node: node, clockHz: clockHz, cyclePS: cyclePS, tiles: tiles}
+
+	// ---- Core ------------------------------------------------------------------
+	core, err := buildCore(cfg.Core, node, cyclePS)
+	if err != nil {
+		return nil, err
+	}
+	c.Core = core
+	if core.CritPathPS() > cyclePS {
+		return nil, fmt.Errorf("chip: timing failure: core critical path %.0fps exceeds cycle %.0fps (%.0f MHz)",
+			core.CritPathPS(), cyclePS, clockHz/1e6)
+	}
+
+	// ---- NoC --------------------------------------------------------------------
+	tileMM := math.Sqrt(core.AreaUM2()*1.1) / 1000
+	network, err := noc.Build(noc.Config{
+		Node:     node,
+		Topology: cfg.NoCTopology.resolve(tiles),
+		Tx:       cfg.Tx, Ty: cfg.Ty,
+		TileMM:        tileMM,
+		BisectionGBps: cfg.NoCBisectionGBps,
+		CyclePS:       cyclePS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.NoC = network
+
+	// ---- Peripherals ---------------------------------------------------------------
+	for _, op := range cfg.OffChip {
+		count := op.Count
+		if count <= 0 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			p, err := periph.Build(periph.Config{Node: node, Kind: op.Kind, GBps: op.GBps})
+			if err != nil {
+				return nil, err
+			}
+			c.Periph = append(c.Periph, p)
+		}
+	}
+
+	// ---- Top-level misc logic --------------------------------------------------------
+	a, d, l := node.LogicBlock(150e3, 0.2)
+	c.misc = pat.Result{AreaUM2: a, DynPJ: d, LeakUW: l}
+
+	// ---- Budgets -----------------------------------------------------------------------
+	if cfg.AreaBudgetMM2 > 0 && c.AreaMM2() > cfg.AreaBudgetMM2 {
+		return nil, fmt.Errorf("chip: area %.1fmm2 exceeds budget %.1fmm2", c.AreaMM2(), cfg.AreaBudgetMM2)
+	}
+	if cfg.PowerBudgetW > 0 && c.TDPW() > cfg.PowerBudgetW {
+		return nil, fmt.Errorf("chip: TDP %.1fW exceeds budget %.1fW", c.TDPW(), cfg.PowerBudgetW)
+	}
+	return c, nil
+}
+
+// ClockHz returns the resolved clock.
+func (c *Chip) ClockHz() float64 { return c.clockHz }
+
+// CyclePS returns the clock period in picoseconds.
+func (c *Chip) CyclePS() float64 { return c.cyclePS }
+
+// Tiles returns the core count.
+func (c *Chip) Tiles() int { return c.tiles }
+
+// PeakTOPS returns the chip's peak compute throughput in tera-ops/sec.
+func (c *Chip) PeakTOPS() float64 {
+	return c.Core.PeakOpsPerCycle() * float64(c.tiles) * c.clockHz / 1e12
+}
+
+// modeledAreaUM2 is the area of the modeled components (pre white space).
+func (c *Chip) modeledAreaUM2() float64 {
+	a := c.Core.AreaUM2()*float64(c.tiles) + c.NoC.AreaUM2() + c.misc.AreaUM2
+	for _, p := range c.Periph {
+		a += p.AreaUM2()
+	}
+	return a
+}
+
+// AreaMM2 returns the total die area including the configured white space.
+func (c *Chip) AreaMM2() float64 {
+	modeled := c.modeledAreaUM2() / 1e6
+	ws := c.Cfg.WhiteSpaceFrac
+	if ws <= 0 || ws >= 1 {
+		return modeled
+	}
+	return modeled / (1 - ws)
+}
+
+// tdpParts returns the named TDP contributions in watts (pre guardband).
+func (c *Chip) tdpParts() map[string]float64 {
+	parts := map[string]float64{}
+	hz := c.clockHz
+	tiles := float64(c.tiles)
+	core := c.Core
+
+	if core.TU != nil {
+		macs := float64(core.TU.MACs()) * float64(core.Cfg.NumTUs) * tiles
+		parts["tu"] = core.TU.PerMACPJ()*1e-12*macs*hz*tdpActTU +
+			core.TU.LeakUW()*float64(core.Cfg.NumTUs)*tiles*1e-6
+	}
+	if core.RT != nil {
+		macs := float64(core.RT.MACs()) * float64(core.Cfg.NumRTs) * tiles
+		parts["rt"] = core.RT.PerMACPJ()*1e-12*macs*hz*tdpActTU +
+			core.RT.LeakUW()*float64(core.Cfg.NumRTs)*tiles*1e-6
+	}
+	lanes := float64(core.Cfg.VULanes)
+	parts["vu"] = core.VU.PerOpPJ()*1e-12*lanes*hz*tdpActVU*tiles +
+		core.VU.LeakUW()*tiles*1e-6
+	if core.SU != nil {
+		parts["su"] = core.SU.PerInstrPJ()*1e-12*hz*tdpActSU*tiles +
+			core.SU.LeakUW()*tiles*1e-6
+	}
+	if core.Mem != nil {
+		perCycle := 0.0
+		for _, seg := range core.Mem.Segments {
+			blk := float64(seg.Spec.BlockBytes)
+			perCycle += seg.Spec.ReadBytesPerCycle / blk * seg.Data.ReadEnergyPJ()
+			perCycle += seg.Spec.WriteBytesPerCycle / blk * seg.Data.WriteEnergyPJ()
+		}
+		parts["mem"] = perCycle*1e-12*hz*tdpActMem*tiles + core.Mem.LeakUW()*tiles*1e-6
+	}
+	parts["ctrl"] = (core.ifu.DynPJ+core.lsu.DynPJ)*1e-12*hz*tiles +
+		(core.ifu.LeakUW+core.lsu.LeakUW)*tiles*1e-6
+	// CDB: the compute units' streaming traffic (operands in, results out).
+	cdbBytesPerCycle := core.cdbBPC
+	if cdbBytesPerCycle == 0 {
+		cdbBytesPerCycle = core.memReadBPC + core.memWriteBPC
+	}
+	parts["cdb"] = c.Core.CDB.EnergyPerBytePJ()*cdbBytesPerCycle*1e-12*hz*tdpActCDB*tiles +
+		core.CDB.LeakUW()*tiles*1e-6
+	// NoC at a fraction of peak injection bandwidth.
+	flitsPerCycle := c.NoC.PeakBytesPerCycle() / (float64(c.NoC.FlitBits()) / 8)
+	parts["noc"] = c.NoC.EnergyPerFlitHopPJ()*c.NoC.AvgHops()*flitsPerCycle*1e-12*hz*tdpActNoC +
+		c.NoC.LeakUW()*1e-6
+	for _, p := range c.Periph {
+		parts[p.Cfg.Kind.String()] += p.PowerW(tdpActIO)
+	}
+	parts["misc"] = c.misc.DynPJ*1e-12*hz + c.misc.LeakUW*1e-6
+	return parts
+}
+
+// TDPW returns the chip thermal design power in watts. Contributions are
+// summed in sorted component order so the result is bit-for-bit
+// deterministic (map iteration order would otherwise reorder float
+// additions).
+func (c *Chip) TDPW() float64 {
+	parts := c.tdpParts()
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += parts[k]
+	}
+	return total * tdpGuardband
+}
+
+// LeakageW returns the total static leakage.
+func (c *Chip) LeakageW() float64 {
+	l := c.Core.LeakUW()*float64(c.tiles) + c.NoC.LeakUW() + c.misc.LeakUW
+	for _, p := range c.Periph {
+		l += p.IdleW() * 1e6
+	}
+	return l * 1e-6
+}
+
+// PeakTOPSPerWatt returns peak TOPS per TDP watt.
+func (c *Chip) PeakTOPSPerWatt() float64 { return c.PeakTOPS() / c.TDPW() }
+
+// PeakTOPSPerTCO approximates peak cost efficiency as TOPS/mm^4/W: die cost
+// grows roughly with area squared (§III-A.3).
+func (c *Chip) PeakTOPSPerTCO() float64 {
+	a := c.AreaMM2()
+	return c.PeakTOPS() / (a * a * c.TDPW())
+}
+
+func (c *Chip) String() string {
+	return fmt.Sprintf("chip[%s %dnm %dx%d cores @%.0fMHz peak=%.1fTOPS area=%.1fmm2 tdp=%.1fW]",
+		c.Cfg.Name, c.Cfg.TechNM, c.Cfg.Tx, c.Cfg.Ty, c.clockHz/1e6,
+		c.PeakTOPS(), c.AreaMM2(), c.TDPW())
+}

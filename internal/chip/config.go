@@ -1,0 +1,180 @@
+// Package chip is NeuroMeter's top-level model: it assembles cores (IFU,
+// LSU, EXU with TU/RT/VU/VReg/CDB, SU) into a many-core accelerator with a
+// NoC, distributed on-chip memory and peripheral interfaces, auto-scales
+// the dependent hardware parameters from the user's high-level
+// configuration, searches the clock for a target TOPS, and reports chip
+// TDP, area and timing with per-component breakdowns — the paper's primary
+// contribution (§II).
+package chip
+
+import (
+	"fmt"
+
+	"neurometer/internal/maclib"
+	"neurometer/internal/noc"
+	"neurometer/internal/periph"
+	"neurometer/internal/tech"
+	"neurometer/internal/tensorunit"
+)
+
+// OffChipPort is a requested peripheral interface.
+type OffChipPort struct {
+	Kind periph.Kind
+	GBps float64
+	// Count instantiates multiple identical ports (e.g. 4 ICI links).
+	Count int
+}
+
+// MemSegment mirrors onchipmem.Segment at the config level; capacities are
+// per core (the on-chip memory is distributed).
+type MemSegment struct {
+	Name          string
+	CapacityBytes int64
+	// BlockBytes 0 = auto (scaled to the TU row width).
+	BlockBytes int
+	// Banks/ports 0 = let the optimizer search.
+	Banks      int
+	ReadPorts  int
+	WritePorts int
+	// Throughput targets in bytes per cycle; 0 = auto from the compute
+	// units' demand.
+	ReadBytesPerCycle  float64
+	WriteBytesPerCycle float64
+}
+
+// CoreConfig describes one core. Only the high-level parameters are
+// mandatory; everything else is derived by Build.
+type CoreConfig struct {
+	// NumTUs is N, the tensor units per core (paper caps the studied
+	// design space at 4 to avoid VReg port explosion; larger values are
+	// allowed but audited against the same rule unless SharedVRegPorts).
+	NumTUs int
+	// TURows x TUCols systolic cells per TU (X by X in the paper's tuple).
+	TURows, TUCols int
+	// TUDataType is the multiplier format (accumulator derived).
+	TUDataType maclib.DataType
+	// TUInterconnect / TUDataflow select the fabric (§II-A).
+	TUInterconnect tensorunit.Interconnect
+	TUDataflow     tensorunit.Dataflow
+	// TULocalSpadBytes / TULocalRegBytes: per-cell storage (Eyeriss).
+	TULocalSpadBytes int
+	TULocalRegBytes  int
+
+	// NumRTs / RTInputs configure reduction trees instead of (or beside)
+	// TUs for RT-based accelerators.
+	NumRTs   int
+	RTInputs int
+
+	// VULanes 0 = auto: matches the TU array length (or RT inputs).
+	VULanes int
+	// VUHasMAC adds per-lane multipliers.
+	VUHasMAC bool
+	// SharedVRegPorts lets all TUs share one 2R1W port group instead of
+	// private ports (§II-A; the external performance tool must then model
+	// the broadcast restriction).
+	SharedVRegPorts bool
+
+	// HasSU instantiates the scalar control core (default-on for
+	// many-core datacenter designs; Eyeriss-style chips use top-level
+	// control instead).
+	HasSU bool
+
+	// Mem is the core's slice of the distributed on-chip memory. Nil
+	// segments mean a memory-less core (I/O fed).
+	Mem []MemSegment
+	// MemCell selects DFF/SRAM/eDRAM (default SRAM).
+	MemCell tech.MemCell
+}
+
+// Config is the chip-level user configuration (Fig. 1 inputs).
+type Config struct {
+	Name string
+
+	// TechNM and Vdd select the backend; Vdd 0 = nominal.
+	TechNM int
+	Vdd    float64
+
+	// ClockHz 0 = search the minimum clock that reaches TargetTOPS (and
+	// error out if timing cannot close); otherwise the fixed target clock.
+	ClockHz float64
+	// TargetTOPS is the system-level performance target used when
+	// searching the clock (peak tera-ops/sec, 2 ops per MAC).
+	TargetTOPS float64
+
+	// Tx x Ty tiles, each holding one core.
+	Tx, Ty int
+	Core   CoreConfig
+
+	// NoCTopology: zero value Auto selects ring for <=4 tiles and 2-D mesh
+	// for >=8, per Table I. NoCBisectionGBps sizes the links.
+	NoCTopology      NoCTopology
+	NoCBisectionGBps float64
+
+	// OffChip lists the peripheral ports (HBM, DDR, PCIe, ICI, DMA).
+	OffChip []OffChipPort
+
+	// WhiteSpaceFrac adds unmodeled area as a fraction of the total die
+	// (the validation sections use the published ~21% unknown share plus
+	// unmodeled components). Power is not scaled.
+	WhiteSpaceFrac float64
+
+	// AreaBudgetMM2 / PowerBudgetW: optional constraints; Build fails when
+	// the finished chip exceeds them.
+	AreaBudgetMM2 float64
+	PowerBudgetW  float64
+}
+
+// NoCTopology wraps noc.Topology with an Auto default.
+type NoCTopology int
+
+const (
+	NoCAuto NoCTopology = iota
+	NoCMesh
+	NoCRing
+	NoCBus
+	NoCHTree
+)
+
+func (t NoCTopology) resolve(tiles int) noc.Topology {
+	switch t {
+	case NoCMesh:
+		return noc.Mesh2D
+	case NoCRing:
+		return noc.Ring
+	case NoCBus:
+		return noc.Bus
+	case NoCHTree:
+		return noc.HTree
+	default:
+		// Table I: "Ring when #Tile on chip Tx*Ty <= 4, 2D-Mesh when >= 8".
+		if tiles <= 4 {
+			return noc.Ring
+		}
+		return noc.Mesh2D
+	}
+}
+
+func (c *Config) validate() error {
+	if c.TechNM <= 0 {
+		return fmt.Errorf("chip: TechNM required")
+	}
+	if c.Tx <= 0 || c.Ty <= 0 {
+		return fmt.Errorf("chip: tile grid must be positive, got %dx%d", c.Tx, c.Ty)
+	}
+	if c.ClockHz <= 0 && c.TargetTOPS <= 0 {
+		return fmt.Errorf("chip: either ClockHz or TargetTOPS must be set")
+	}
+	cc := &c.Core
+	hasTU := cc.NumTUs > 0
+	hasRT := cc.NumRTs > 0
+	if !hasTU && !hasRT && cc.VULanes == 0 {
+		return fmt.Errorf("chip: core has no compute units (TUs, RTs or VU lanes)")
+	}
+	if hasTU && (cc.TURows <= 0 || cc.TUCols <= 0) {
+		return fmt.Errorf("chip: TU dimensions required when NumTUs > 0")
+	}
+	if hasRT && cc.RTInputs <= 0 {
+		return fmt.Errorf("chip: RTInputs required when NumRTs > 0")
+	}
+	return nil
+}

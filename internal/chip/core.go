@@ -1,0 +1,329 @@
+package chip
+
+import (
+	"fmt"
+	"math"
+
+	"neurometer/internal/cdb"
+	"neurometer/internal/onchipmem"
+	"neurometer/internal/pat"
+	"neurometer/internal/periph"
+	"neurometer/internal/reducetree"
+	"neurometer/internal/scalarunit"
+	"neurometer/internal/tech"
+	"neurometer/internal/tensorunit"
+	"neurometer/internal/vectorunit"
+)
+
+// Core is one evaluated core: IFU + LSU + EXU(TUs/RTs, VU+VReg, CDB) + SU
+// + the core's slice of the distributed memory.
+type Core struct {
+	Cfg  CoreConfig
+	Node tech.Node
+
+	TU  *tensorunit.Unit // nil when NumTUs == 0
+	RT  *reducetree.Unit // nil when NumRTs == 0
+	VU  *vectorunit.Unit
+	SU  *scalarunit.Unit // nil when !HasSU
+	Mem *onchipmem.Mem   // nil when no segments
+	CDB *cdb.Bus
+
+	ifu pat.Result
+	lsu pat.Result
+
+	// memReadBPC / memWriteBPC are the provisioned memory bytes/cycle;
+	// cdbBPC is the compute-side traffic that actually crosses the bus.
+	memReadBPC, memWriteBPC float64
+	cdbBPC                  float64
+
+	areaUM2 float64
+	leakUW  float64
+	critPS  float64
+}
+
+// ifuGates/lsuGates: the lightweight front end of an ML accelerator core
+// (§II-A: "an IFU in ML accelerators is usually lightweight").
+const (
+	ifuGates = 20e3
+	lsuGates = 30e3
+)
+
+func buildCore(cfg CoreConfig, n tech.Node, cyclePS float64) (*Core, error) {
+	c := &Core{Cfg: cfg, Node: n}
+
+	// ---- Tensor units -------------------------------------------------------
+	mulType := cfg.TUDataType
+	accType := mulType.AccumType()
+	var tuIOBits int
+	if cfg.NumTUs > 0 {
+		tu, err := tensorunit.Build(tensorunit.Config{
+			Node: n, Rows: cfg.TURows, Cols: cfg.TUCols,
+			MulType:      mulType,
+			Interconnect: cfg.TUInterconnect, Dataflow: cfg.TUDataflow,
+			LocalSpadBytes: cfg.TULocalSpadBytes, LocalRegBytes: cfg.TULocalRegBytes,
+			CyclePS: cyclePS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.TU = tu
+		accType = tu.Cfg.AccType
+		// The CDB carries the TU's streaming operand side (activations /
+		// weights); the psum drain goes to adjacent accumulator banks.
+		tuIOBits = cfg.TUCols * mulType.Bits()
+	}
+
+	// ---- Reduction trees ----------------------------------------------------
+	if cfg.NumRTs > 0 {
+		rt, err := reducetree.Build(reducetree.Config{
+			Node: n, Inputs: cfg.RTInputs, MulType: mulType, CyclePS: cyclePS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.RT = rt
+		accType = rt.Cfg.AccType
+		if bits := cfg.RTInputs * mulType.Bits(); bits > tuIOBits {
+			tuIOBits = bits
+		}
+	}
+
+	// ---- Vector unit + VReg (auto-scaled, §III-A) ---------------------------
+	lanes := cfg.VULanes
+	if lanes <= 0 {
+		switch {
+		case cfg.NumTUs > 0:
+			lanes = cfg.TUCols // "lane number the same as the TU array length"
+		case cfg.NumRTs > 0:
+			lanes = maxI(cfg.RTInputs/8, 8)
+		default:
+			return nil, fmt.Errorf("chip: VULanes required for a VU-only core")
+		}
+	}
+	// "NeuroMeter reserves two read ports and one write port in the VReg for
+	// each functional unit" — N TUs (or RTs) plus the VU itself.
+	funcUnits := cfg.NumTUs + cfg.NumRTs + 1
+	rp, wp := 2*funcUnits, funcUnits
+	if cfg.SharedVRegPorts {
+		rp, wp = 4, 2 // one shared group for the TUs plus the VU's own
+	}
+	vu, err := vectorunit.Build(vectorunit.Config{
+		Node: n, Lanes: lanes,
+		ElemType:      accType,
+		HasMAC:        cfg.VUHasMAC,
+		VRegReadPorts: rp, VRegWritePorts: wp,
+		CyclePS: cyclePS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.VU = vu
+	c.Cfg.VULanes = lanes
+
+	// ---- Scalar unit ---------------------------------------------------------
+	if cfg.HasSU {
+		su, err := scalarunit.Build(scalarunit.Config{Node: n, CyclePS: cyclePS})
+		if err != nil {
+			return nil, err
+		}
+		c.SU = su
+	}
+
+	// ---- Front end ------------------------------------------------------------
+	mkBlock := func(gates float64) pat.Result {
+		a, d, l := n.LogicBlock(gates, 0.15)
+		return pat.Result{AreaUM2: a, DynPJ: d, LeakUW: l, DelayPS: 12 * n.FO4PS}
+	}
+	c.ifu = mkBlock(ifuGates)
+	lsu := mkBlock(lsuGates)
+	if cfg.HasSU {
+		// Cores with their own control plane (the many-core datacenter
+		// template) also carry a per-core DMA engine that feeds the
+		// distributed memory slice from the off-chip/NoC side.
+		dma, err := periph.Build(periph.Config{Node: n, Kind: periph.DMAEngine, GBps: 16})
+		if err != nil {
+			return nil, err
+		}
+		lsu.AreaUM2 += dma.AreaUM2()
+		lsu.LeakUW += dma.IdleW() * 1e6
+	}
+	c.lsu = lsu
+
+	// ---- On-chip memory slice ---------------------------------------------------
+	if len(cfg.Mem) > 0 {
+		mulBytes := float64(mulType.Bits()) / 8
+		demandRead := float64(cfg.NumTUs)*float64(cfg.TUCols)*mulBytes*1.25 +
+			float64(cfg.NumRTs)*float64(cfg.RTInputs)*mulBytes*1.25 +
+			float64(lanes)*float64(accType.Bits())/8*0.25
+		demandWrite := demandRead * 0.4
+		segs := make([]onchipmem.Segment, len(cfg.Mem))
+		for i, ms := range cfg.Mem {
+			blk := ms.BlockBytes
+			if blk <= 0 {
+				blk = clampI(cfg.TUCols*int(mulBytes), 16, 512)
+				if cfg.NumTUs == 0 {
+					blk = 64
+				}
+			}
+			rd, wr := ms.ReadBytesPerCycle, ms.WriteBytesPerCycle
+			if rd <= 0 {
+				rd = demandRead / float64(len(cfg.Mem))
+			}
+			if wr <= 0 {
+				wr = demandWrite / float64(len(cfg.Mem))
+			}
+			segs[i] = onchipmem.Segment{
+				Name: ms.Name, CapacityBytes: ms.CapacityBytes, BlockBytes: blk,
+				Banks: ms.Banks, ReadPorts: ms.ReadPorts, WritePorts: ms.WritePorts,
+				ReadBytesPerCycle: rd, WriteBytesPerCycle: wr,
+			}
+			c.memReadBPC += rd
+			c.memWriteBPC += wr
+		}
+		c.cdbBPC = demandRead + demandWrite
+		cell := cfg.MemCell
+		mem, err := onchipmem.Build(onchipmem.Config{
+			Node: n, Cell: cell, Style: onchipmem.Scratchpad,
+			Segments: segs, CyclePS: cyclePS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Mem = mem
+	}
+
+	// ---- Central data bus -------------------------------------------------------
+	preArea := c.computeAreaUM2()
+	var eps []cdb.Endpoint
+	if c.TU != nil {
+		eps = append(eps, cdb.Endpoint{
+			Name: "tu", AreaUM2: c.TU.AreaUM2() * float64(cfg.NumTUs), Bits: tuIOBits * cfg.NumTUs,
+		})
+	}
+	if c.RT != nil {
+		eps = append(eps, cdb.Endpoint{
+			Name: "rt", AreaUM2: c.RT.AreaUM2() * float64(cfg.NumRTs),
+			Bits: cfg.RTInputs * mulType.Bits(),
+		})
+	}
+	eps = append(eps, cdb.Endpoint{Name: "vu", AreaUM2: c.VU.AreaUM2(), Bits: lanes * accType.Bits()})
+	if c.Mem != nil {
+		blkBits := c.Mem.Segments[0].Spec.BlockBytes * 8
+		eps = append(eps, cdb.Endpoint{Name: "mem", AreaUM2: c.Mem.AreaUM2(), Bits: blkBits})
+	}
+	bus, err := cdb.Build(cdb.Config{
+		Node: n, Endpoints: eps, CoreAreaUM2: preArea, CyclePS: cyclePS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.CDB = bus
+
+	// ---- Totals ------------------------------------------------------------------
+	c.areaUM2 = c.computeAreaUM2() + bus.AreaUM2()
+	c.leakUW = c.computeLeakUW() + bus.LeakUW()
+	c.critPS = c.computeCritPS()
+	return c, nil
+}
+
+func (c *Core) computeAreaUM2() float64 {
+	a := c.ifu.AreaUM2 + c.lsu.AreaUM2
+	if c.TU != nil {
+		a += c.TU.AreaUM2() * float64(c.Cfg.NumTUs)
+	}
+	if c.RT != nil {
+		a += c.RT.AreaUM2() * float64(c.Cfg.NumRTs)
+	}
+	a += c.VU.AreaUM2()
+	if c.SU != nil {
+		a += c.SU.AreaUM2()
+	}
+	if c.Mem != nil {
+		a += c.Mem.AreaUM2()
+	}
+	return a
+}
+
+func (c *Core) computeLeakUW() float64 {
+	l := c.ifu.LeakUW + c.lsu.LeakUW
+	if c.TU != nil {
+		l += c.TU.LeakUW() * float64(c.Cfg.NumTUs)
+	}
+	if c.RT != nil {
+		l += c.RT.LeakUW() * float64(c.Cfg.NumRTs)
+	}
+	l += c.VU.LeakUW()
+	if c.SU != nil {
+		l += c.SU.LeakUW()
+	}
+	if c.Mem != nil {
+		l += c.Mem.LeakUW()
+	}
+	return l
+}
+
+func (c *Core) computeCritPS() float64 {
+	crit := math.Max(c.ifu.DelayPS, c.lsu.DelayPS)
+	if c.TU != nil {
+		crit = math.Max(crit, c.TU.CritPathPS())
+	}
+	if c.RT != nil {
+		crit = math.Max(crit, c.RT.CritPathPS())
+	}
+	crit = math.Max(crit, c.VU.CritPathPS())
+	if c.SU != nil {
+		crit = math.Max(crit, c.SU.CritPathPS())
+	}
+	if c.CDB != nil {
+		crit = math.Max(crit, c.CDB.CritPathPS())
+	}
+	// Memory arrays are pipelined over up to two cycles (memarray enforces
+	// cycle <= 2.05x), so they do not set the core clock.
+	return crit
+}
+
+// AreaUM2 returns the core's total area.
+func (c *Core) AreaUM2() float64 { return c.areaUM2 }
+
+// LeakUW returns the core's total leakage.
+func (c *Core) LeakUW() float64 { return c.leakUW }
+
+// CritPathPS returns the core's slowest pipeline stage.
+func (c *Core) CritPathPS() float64 { return c.critPS }
+
+// PeakOpsPerCycle returns the core's peak compute throughput: TU and RT ops
+// (2 per MAC); VU ops count only for VU-only accelerators (EIE-style).
+func (c *Core) PeakOpsPerCycle() float64 {
+	var ops float64
+	if c.TU != nil {
+		ops += c.TU.PeakOpsPerCycle() * float64(c.Cfg.NumTUs)
+	}
+	if c.RT != nil {
+		ops += c.RT.PeakOpsPerCycle() * float64(c.Cfg.NumRTs)
+	}
+	if ops == 0 {
+		ops = c.VU.PeakOpsPerCycle()
+	}
+	return ops
+}
+
+// MemReadBPC / MemWriteBPC expose the provisioned memory throughput.
+func (c *Core) MemReadBPC() float64  { return c.memReadBPC }
+func (c *Core) MemWriteBPC() float64 { return c.memWriteBPC }
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,72 @@
+package chip
+
+import "encoding/json"
+
+// EnergyEntry is one action energy of one component — the row format of an
+// Accelergy-style Energy Reference Table (ERT). The paper positions
+// NeuroMeter as the analytical foundation under tools like Accelergy and
+// Timeloop; exporting the per-action energies is how that composition
+// works: a mapper multiplies these by its action counts.
+type EnergyEntry struct {
+	Component string  `json:"component"`
+	Action    string  `json:"action"`
+	EnergyPJ  float64 `json:"energy_pj"`
+	// Unit documents what one action is (one MAC, one block read, ...).
+	Unit string `json:"unit"`
+}
+
+// EnergyTable exports the chip's per-action energies.
+func (c *Chip) EnergyTable() []EnergyEntry {
+	var out []EnergyEntry
+	add := func(component, action string, pj float64, unit string) {
+		out = append(out, EnergyEntry{Component: component, Action: action, EnergyPJ: pj, Unit: unit})
+	}
+	core := c.Core
+	if core.TU != nil {
+		add("tu", "mac", core.TU.PerMACPJ(), "one multiply-accumulate incl. registers, links, amortized FIFOs")
+	}
+	if core.RT != nil {
+		add("rt", "mac", core.RT.PerMACPJ(), "one MAC-equivalent through the reduction tree")
+	}
+	add("vu", "lane_op", core.VU.PerOpPJ(), "one vector-lane op incl. VReg traffic")
+	if core.SU != nil {
+		add("su", "instruction", core.SU.PerInstrPJ(), "one scalar instruction incl. icache and register file")
+	}
+	if core.Mem != nil {
+		for _, seg := range core.Mem.Segments {
+			add("mem."+seg.Spec.Name, "read", seg.Data.ReadEnergyPJ(),
+				"one block read ("+itoa(seg.Spec.BlockBytes)+" B)")
+			add("mem."+seg.Spec.Name, "write", seg.Data.WriteEnergyPJ(),
+				"one block write ("+itoa(seg.Spec.BlockBytes)+" B)")
+		}
+	}
+	add("cdb", "byte", core.CDB.EnergyPerBytePJ(), "one byte across the central data bus")
+	add("noc", "flit_hop", c.NoC.EnergyPerFlitHopPJ(), "one flit through one router + link")
+	add("noc", "byte", c.NoC.EnergyPerBytePJ(), "one byte across the average route")
+	for _, p := range c.Periph {
+		r := p.Result()
+		if r.DynPJ > 0 {
+			add(p.Cfg.Kind.String(), "byte", r.DynPJ, "one byte through the interface")
+		}
+	}
+	return out
+}
+
+// MarshalEnergyTable renders the ERT as indented JSON.
+func (c *Chip) MarshalEnergyTable() ([]byte, error) {
+	return json.MarshalIndent(c.EnergyTable(), "", "  ")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

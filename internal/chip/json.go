@@ -1,0 +1,82 @@
+package chip
+
+import (
+	"encoding/json"
+
+	"neurometer/internal/pat"
+)
+
+// JSONReport is the machine-readable form of a chip evaluation — the
+// "flexible and extensible interface" side of NeuroMeter: external tools
+// (performance simulators, cost models, plotting scripts) consume this
+// instead of parsing the human-readable report.
+type JSONReport struct {
+	Name     string  `json:"name"`
+	TechNM   int     `json:"tech_nm"`
+	VddV     float64 `json:"vdd_v"`
+	ClockMHz float64 `json:"clock_mhz"`
+	Tiles    int     `json:"tiles"`
+
+	PeakTOPS       float64 `json:"peak_tops"`
+	AreaMM2        float64 `json:"area_mm2"`
+	TDPW           float64 `json:"tdp_w"`
+	LeakageW       float64 `json:"leakage_w"`
+	PeakTOPSPerW   float64 `json:"peak_tops_per_watt"`
+	PeakTOPSPerTCO float64 `json:"peak_tops_per_tco"`
+
+	Area   []JSONBreakdownNode `json:"area_breakdown"`
+	Timing []JSONTimingEntry   `json:"timing"`
+}
+
+// JSONBreakdownNode flattens one breakdown node.
+type JSONBreakdownNode struct {
+	Name     string              `json:"name"`
+	AreaMM2  float64             `json:"area_mm2"`
+	PowerW   float64             `json:"power_w"`
+	Children []JSONBreakdownNode `json:"children,omitempty"`
+}
+
+// JSONTimingEntry is one critical-path row.
+type JSONTimingEntry struct {
+	Component string  `json:"component"`
+	DelayPS   float64 `json:"delay_ps"`
+	SlackPS   float64 `json:"slack_ps"`
+}
+
+func toJSONNode(b *pat.Breakdown) JSONBreakdownNode {
+	n := JSONBreakdownNode{Name: b.Name, AreaMM2: b.AreaMM2, PowerW: b.PowerW}
+	for _, c := range b.Children {
+		n.Children = append(n.Children, toJSONNode(c))
+	}
+	return n
+}
+
+// JSONReport assembles the machine-readable report.
+func (c *Chip) JSONReport() JSONReport {
+	rep := JSONReport{
+		Name:           c.Cfg.Name,
+		TechNM:         c.Cfg.TechNM,
+		VddV:           c.Node.Vdd,
+		ClockMHz:       c.clockHz / 1e6,
+		Tiles:          c.tiles,
+		PeakTOPS:       c.PeakTOPS(),
+		AreaMM2:        c.AreaMM2(),
+		TDPW:           c.TDPW(),
+		LeakageW:       c.LeakageW(),
+		PeakTOPSPerW:   c.PeakTOPSPerWatt(),
+		PeakTOPSPerTCO: c.PeakTOPSPerTCO(),
+	}
+	root := toJSONNode(c.AreaBreakdown())
+	rep.Area = root.Children
+	for _, e := range c.TimingReport() {
+		rep.Timing = append(rep.Timing, JSONTimingEntry{
+			Component: e.Component, DelayPS: e.DelayPS, SlackPS: e.SlackPS,
+		})
+	}
+	return rep
+}
+
+// MarshalReport renders the JSON report with indentation.
+func (c *Chip) MarshalReport() ([]byte, error) {
+	return json.MarshalIndent(c.JSONReport(), "", "  ")
+}

@@ -1,0 +1,131 @@
+package chip
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AreaBreakdown returns the chip-level area tree. The root total equals
+// AreaMM2(); a "whitespace" leaf holds the unmodeled share when configured.
+func (c *Chip) AreaBreakdown() *patBreakdown {
+	root := newBD(c.Cfg.Name, 0, 0)
+	tiles := float64(c.tiles)
+	core := c.Core
+	parts := c.tdpParts()
+
+	cores := newBD("cores", 0, 0)
+	if core.TU != nil {
+		cores.AddChild(newBD("tu",
+			core.TU.AreaUM2()/1e6*float64(core.Cfg.NumTUs)*tiles, parts["tu"]*tdpGuardband))
+	}
+	if core.RT != nil {
+		cores.AddChild(newBD("rt",
+			core.RT.AreaUM2()/1e6*float64(core.Cfg.NumRTs)*tiles, parts["rt"]*tdpGuardband))
+	}
+	cores.AddChild(newBD("vu", core.VU.AreaUM2()/1e6*tiles, parts["vu"]*tdpGuardband))
+	if core.SU != nil {
+		cores.AddChild(newBD("su", core.SU.AreaUM2()/1e6*tiles, parts["su"]*tdpGuardband))
+	}
+	if core.Mem != nil {
+		cores.AddChild(newBD("mem", core.Mem.AreaUM2()/1e6*tiles, parts["mem"]*tdpGuardband))
+	}
+	cores.AddChild(newBD("ctrl",
+		(core.ifu.AreaUM2+core.lsu.AreaUM2)/1e6*tiles, parts["ctrl"]*tdpGuardband))
+	cores.AddChild(newBD("cdb", core.CDB.AreaUM2()/1e6*tiles, parts["cdb"]*tdpGuardband))
+	root.AddChild(cores)
+
+	root.AddChild(newBD("noc", c.NoC.AreaUM2()/1e6, parts["noc"]*tdpGuardband))
+	perKind := map[string]*patBreakdown{}
+	for _, p := range c.Periph {
+		k := p.Cfg.Kind.String()
+		if perKind[k] == nil {
+			perKind[k] = newBD(k, 0, 0)
+		}
+		perKind[k].AreaMM2 += p.AreaUM2() / 1e6
+	}
+	keys := make([]string, 0, len(perKind))
+	for k := range perKind {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		perKind[k].PowerW = parts[k] * tdpGuardband
+		root.AddChild(perKind[k])
+	}
+	root.AddChild(newBD("misc", c.misc.AreaUM2/1e6, parts["misc"]*tdpGuardband))
+
+	if ws := c.Cfg.WhiteSpaceFrac; ws > 0 && ws < 1 {
+		total := root.AreaMM2 / (1 - ws)
+		root.AddChild(newBD("whitespace", total-root.AreaMM2, 0))
+	}
+	return root
+}
+
+// TimingEntry is one row of the timing report: the hardware critical paths
+// per component (§II: NeuroMeter "outputs the timing information ... to
+// help the user find out the hardware critical path").
+type TimingEntry struct {
+	Component string
+	DelayPS   float64
+	// SlackPS is cycle - delay (negative means timing failure).
+	SlackPS float64
+}
+
+// TimingReport returns the per-component critical paths, sorted by
+// descending delay (the first entry is the chip critical path).
+func (c *Chip) TimingReport() []TimingEntry {
+	cyc := c.cyclePS
+	var out []TimingEntry
+	add := func(name string, d float64) {
+		out = append(out, TimingEntry{Component: name, DelayPS: d, SlackPS: cyc - d})
+	}
+	core := c.Core
+	if core.TU != nil {
+		add("tu", core.TU.CritPathPS())
+	}
+	if core.RT != nil {
+		add("rt", core.RT.CritPathPS())
+	}
+	add("vu", core.VU.CritPathPS())
+	if core.SU != nil {
+		add("su", core.SU.CritPathPS())
+	}
+	if core.Mem != nil {
+		// Banked memories operate on a two-cycle pipeline; report the
+		// per-cycle stage time.
+		var worst float64
+		for _, seg := range core.Mem.Segments {
+			if d := seg.Data.CycleDelayPS() / 2; d > worst {
+				worst = d
+			}
+		}
+		add("mem", worst)
+	}
+	add("cdb", core.CDB.CritPathPS())
+	add("ifu", core.ifu.DelayPS)
+	add("lsu", core.lsu.DelayPS)
+	add("noc", c.NoC.Result().DelayPS)
+	sort.Slice(out, func(i, j int) bool { return out[i].DelayPS > out[j].DelayPS })
+	return out
+}
+
+// CriticalPath returns the slowest component and its delay.
+func (c *Chip) CriticalPath() (string, float64) {
+	r := c.TimingReport()
+	return r[0].Component, r[0].DelayPS
+}
+
+// Report renders a human-readable summary (the cmd tools' output).
+func (c *Chip) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", c.String())
+	fmt.Fprintf(&sb, "peak: %.2f TOPS, %.3f TOPS/W, clock %.0f MHz (cycle %.0f ps)\n",
+		c.PeakTOPS(), c.PeakTOPSPerWatt(), c.clockHz/1e6, c.cyclePS)
+	fmt.Fprintf(&sb, "\n== area / TDP breakdown ==\n%s", c.AreaBreakdown())
+	fmt.Fprintf(&sb, "\n== timing (cycle %.0f ps) ==\n", c.cyclePS)
+	for _, e := range c.TimingReport() {
+		fmt.Fprintf(&sb, "  %-8s %8.0f ps  slack %8.0f ps\n", e.Component, e.DelayPS, e.SlackPS)
+	}
+	return sb.String()
+}

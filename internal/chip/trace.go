@@ -1,0 +1,71 @@
+package chip
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// TraceSample is one interval of a runtime activity trace: the Fig. 1
+// "runtime statistics" input expressed as a time series, so phase behaviour
+// (compute-bound layers, memory-bound layers, idle gaps) shows up as a
+// power profile rather than a single average.
+type TraceSample struct {
+	// DurationSec is the length of the interval.
+	DurationSec float64 `json:"duration_sec"`
+	// Activity carries the component rates during the interval.
+	Activity Activity `json:"activity"`
+}
+
+// TracePoint is one evaluated interval of the power profile.
+type TracePoint struct {
+	StartSec    float64 `json:"start_sec"`
+	DurationSec float64 `json:"duration_sec"`
+	PowerW      float64 `json:"power_w"`
+}
+
+// TraceResult summarizes a runtime power trace.
+type TraceResult struct {
+	Points []TracePoint `json:"points"`
+	// AvgPowerW is the time-weighted average; PeakPowerW the maximum
+	// interval power; EnergyJ the total energy.
+	AvgPowerW  float64 `json:"avg_power_w"`
+	PeakPowerW float64 `json:"peak_power_w"`
+	EnergyJ    float64 `json:"energy_j"`
+	TotalSec   float64 `json:"total_sec"`
+}
+
+// RuntimeTrace evaluates the runtime power for every interval of the trace
+// and returns the profile with its time-weighted summary.
+func (c *Chip) RuntimeTrace(samples []TraceSample) (TraceResult, error) {
+	if len(samples) == 0 {
+		return TraceResult{}, fmt.Errorf("chip: empty activity trace")
+	}
+	var res TraceResult
+	t := 0.0
+	for i, s := range samples {
+		if s.DurationSec <= 0 {
+			return TraceResult{}, fmt.Errorf("chip: trace sample %d has non-positive duration", i)
+		}
+		w, _ := c.RuntimePower(s.Activity)
+		res.Points = append(res.Points, TracePoint{
+			StartSec: t, DurationSec: s.DurationSec, PowerW: w,
+		})
+		res.EnergyJ += w * s.DurationSec
+		if w > res.PeakPowerW {
+			res.PeakPowerW = w
+		}
+		t += s.DurationSec
+	}
+	res.TotalSec = t
+	res.AvgPowerW = res.EnergyJ / t
+	return res, nil
+}
+
+// ParseTrace decodes a JSON activity trace (an array of TraceSample).
+func ParseTrace(raw []byte) ([]TraceSample, error) {
+	var samples []TraceSample
+	if err := json.Unmarshal(raw, &samples); err != nil {
+		return nil, fmt.Errorf("chip: parsing activity trace: %w", err)
+	}
+	return samples, nil
+}

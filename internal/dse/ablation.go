@@ -1,0 +1,235 @@
+package dse
+
+import (
+	"fmt"
+	"strings"
+
+	"neurometer/internal/chip"
+	"neurometer/internal/maclib"
+	"neurometer/internal/tech"
+	"neurometer/internal/tensorunit"
+)
+
+// This file contains the ablation studies for the design choices DESIGN.md
+// calls out: NoC topology, memory cell technology, inner-TU interconnect,
+// VReg port sharing, dataflow, and operand data type. Each ablation takes a
+// reference design point and varies exactly one axis, reporting the chip-
+// level consequences — the kind of what-if a NeuroMeter user runs before
+// committing to an architecture.
+
+// AblationRow is one variant of an ablation study.
+type AblationRow struct {
+	Variant  string
+	AreaMM2  float64
+	TDPW     float64
+	PeakTOPS float64
+	// TOPSPerW is peak TOPS per TDP watt.
+	TOPSPerW float64
+	// Note carries a study-specific observation (e.g. NoC share).
+	Note string
+}
+
+// FormatAblation renders an ablation table.
+func FormatAblation(title string, rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== ablation: %s ==\n", title)
+	fmt.Fprintf(&sb, "%-22s %9s %8s %9s %9s  %s\n", "variant", "area-mm2", "TDP-W", "peakTOPS", "TOPS/W", "note")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %9.1f %8.1f %9.2f %9.3f  %s\n",
+			r.Variant, r.AreaMM2, r.TDPW, r.PeakTOPS, r.TOPSPerW, r.Note)
+	}
+	return sb.String()
+}
+
+// ablationConfig builds the variant config with the budget constraints
+// lifted: an ablation is a what-if, and some variants (e.g. a 256GB/s bus
+// spanning 16 tiles) exist precisely to show how badly they blow a budget.
+func ablationConfig(cs Constraints, p Point) chip.Config {
+	cfg := cs.Config(p)
+	cfg.AreaBudgetMM2 = 0
+	cfg.PowerBudgetW = 0
+	return cfg
+}
+
+func ablationRow(name, note string, c *chip.Chip) AblationRow {
+	return AblationRow{
+		Variant: name, AreaMM2: c.AreaMM2(), TDPW: c.TDPW(),
+		PeakTOPS: c.PeakTOPS(), TOPSPerW: c.PeakTOPSPerWatt(), Note: note,
+	}
+}
+
+// AblateNoCTopology compares the four NoC shapes on a 16-core design at the
+// Table-I bisection bandwidth.
+func AblateNoCTopology(cs Constraints) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, tc := range []struct {
+		name string
+		topo chip.NoCTopology
+	}{
+		{"mesh2d", chip.NoCMesh},
+		{"ring", chip.NoCRing},
+		{"bus", chip.NoCBus},
+		{"htree", chip.NoCHTree},
+	} {
+		cfg := ablationConfig(cs, Point{X: 32, N: 4, Tx: 4, Ty: 4})
+		cfg.Name = "noc-" + tc.name
+		cfg.NoCTopology = tc.topo
+		c, err := chip.Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dse: noc ablation %s: %w", tc.name, err)
+		}
+		noc := c.AreaBreakdown().Find("noc")
+		rows = append(rows, ablationRow(tc.name,
+			fmt.Sprintf("noc=%.1fmm2/%.1fW", noc.AreaMM2, noc.PowerW), c))
+	}
+	return rows, nil
+}
+
+// AblateMemoryCell compares SRAM against eDRAM for the distributed on-chip
+// memory (§II-A: "the cell type of Mem can be selected from DFF, SRAM, and
+// eDRAM").
+func AblateMemoryCell(cs Constraints) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, tc := range []struct {
+		name string
+		cell tech.MemCell
+	}{
+		{"sram", tech.CellSRAM},
+		{"edram", tech.CellEDRAM},
+	} {
+		cfg := ablationConfig(cs, Point{X: 64, N: 2, Tx: 2, Ty: 4})
+		cfg.Name = "mem-" + tc.name
+		cfg.Core.MemCell = tc.cell
+		c, err := chip.Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dse: mem ablation %s: %w", tc.name, err)
+		}
+		mem := c.AreaBreakdown().Find("mem")
+		rows = append(rows, ablationRow(tc.name,
+			fmt.Sprintf("mem=%.1fmm2/%.1fW", mem.AreaMM2, mem.PowerW), c))
+	}
+	return rows, nil
+}
+
+// AblateInterconnect compares unicast (TPU-style) against multicast
+// (Eyeriss-style) inner-TU interconnect on a mid-size array.
+func AblateInterconnect(cs Constraints) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, tc := range []struct {
+		name string
+		ic   tensorunit.Interconnect
+	}{
+		{"unicast", tensorunit.Unicast},
+		{"multicast", tensorunit.Multicast},
+	} {
+		cfg := ablationConfig(cs, Point{X: 32, N: 2, Tx: 2, Ty: 2})
+		cfg.Name = "ic-" + tc.name
+		cfg.Core.TUInterconnect = tc.ic
+		c, err := chip.Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dse: interconnect ablation %s: %w", tc.name, err)
+		}
+		rows = append(rows, ablationRow(tc.name,
+			fmt.Sprintf("tu-crit=%.0fps", c.Core.TU.CritPathPS()), c))
+	}
+	return rows, nil
+}
+
+// AblateVRegSharing quantifies the §III-A VReg port-explosion tradeoff:
+// private 2R1W port groups per functional unit versus one shared group.
+func AblateVRegSharing(cs Constraints) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, tc := range []struct {
+		name   string
+		shared bool
+	}{
+		{"private-ports", false},
+		{"shared-ports", true},
+	} {
+		cfg := ablationConfig(cs, Point{X: 16, N: 4, Tx: 2, Ty: 2})
+		cfg.Name = "vreg-" + tc.name
+		cfg.Core.SharedVRegPorts = tc.shared
+		c, err := chip.Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dse: vreg ablation %s: %w", tc.name, err)
+		}
+		rows = append(rows, ablationRow(tc.name,
+			fmt.Sprintf("vu=%.2fmm2 (%dR%dW)", c.Core.VU.AreaUM2()/1e6,
+				c.Core.VU.Cfg.VRegReadPorts, c.Core.VU.Cfg.VRegWritePorts), c))
+	}
+	return rows, nil
+}
+
+// AblateDataflow compares weight-stationary against output-stationary
+// systolic cells (§II-A: both supported for unicast TUs).
+func AblateDataflow(cs Constraints) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, tc := range []struct {
+		name string
+		df   tensorunit.Dataflow
+	}{
+		{"weight-stationary", tensorunit.WeightStationary},
+		{"output-stationary", tensorunit.OutputStationary},
+	} {
+		cfg := ablationConfig(cs, Point{X: 64, N: 2, Tx: 2, Ty: 4})
+		cfg.Name = "df-" + tc.name
+		cfg.Core.TUDataflow = tc.df
+		c, err := chip.Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dse: dataflow ablation %s: %w", tc.name, err)
+		}
+		rows = append(rows, ablationRow(tc.name,
+			fmt.Sprintf("tu=%.1fmm2", c.AreaBreakdown().Find("tu").AreaMM2), c))
+	}
+	return rows, nil
+}
+
+// AblateDataType compares Int8 inference arithmetic against a BF16 variant
+// of the same design point — the training-accelerator direction the paper
+// leaves to future work (§III: "NeuroMeter models both training and
+// inference accelerators").
+func AblateDataType(cs Constraints) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, tc := range []struct {
+		name string
+		dt   maclib.DataType
+	}{
+		{"int8-inference", maclib.Int8},
+		{"bf16-training", maclib.BF16},
+	} {
+		cfg := ablationConfig(cs, Point{X: 64, N: 2, Tx: 2, Ty: 4})
+		cfg.Name = "dt-" + tc.name
+		cfg.Core.TUDataType = tc.dt
+		c, err := chip.Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dse: datatype ablation %s: %w", tc.name, err)
+		}
+		rows = append(rows, ablationRow(tc.name,
+			fmt.Sprintf("%.2fpJ/MAC", c.Core.TU.PerMACPJ()), c))
+	}
+	return rows, nil
+}
+
+// AllAblations runs every ablation study and returns the rendered report.
+func AllAblations(cs Constraints) (string, error) {
+	var sb strings.Builder
+	for _, study := range []struct {
+		name string
+		run  func(Constraints) ([]AblationRow, error)
+	}{
+		{"NoC topology (32x32 TUs, 16 cores)", AblateNoCTopology},
+		{"memory cell technology (64x64 TUs, 8 cores)", AblateMemoryCell},
+		{"inner-TU interconnect (32x32 TUs)", AblateInterconnect},
+		{"VReg port sharing (N=4 TUs per core)", AblateVRegSharing},
+		{"systolic dataflow (64x64 TUs)", AblateDataflow},
+		{"operand data type (64x64 TUs)", AblateDataType},
+	} {
+		rows, err := study.run(cs)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(FormatAblation(study.name, rows))
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,119 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+)
+
+func rowsByName(rows []AblationRow) map[string]AblationRow {
+	out := map[string]AblationRow{}
+	for _, r := range rows {
+		out[r.Variant] = r
+	}
+	return out
+}
+
+func TestAblateNoCTopology(t *testing.T) {
+	rows, err := AblateNoCTopology(TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rowsByName(rows)
+	// A single bus cannot carry a 256GB/s bisection across 16 tiles without
+	// burning absurd power; the mesh is the efficient choice at this scale
+	// (which is why Table I mandates it beyond 4 tiles).
+	if m["mesh2d"].TOPSPerW <= m["bus"].TOPSPerW {
+		t.Errorf("mesh must beat bus at 16 cores: %.3f vs %.3f",
+			m["mesh2d"].TOPSPerW, m["bus"].TOPSPerW)
+	}
+	if m["mesh2d"].TOPSPerW <= m["ring"].TOPSPerW {
+		t.Errorf("mesh must beat ring at 16 cores: %.3f vs %.3f",
+			m["mesh2d"].TOPSPerW, m["ring"].TOPSPerW)
+	}
+	// All variants share the same compute, so peak TOPS must be identical.
+	for _, r := range rows {
+		if r.PeakTOPS != rows[0].PeakTOPS {
+			t.Errorf("NoC choice must not change peak TOPS")
+		}
+	}
+}
+
+func TestAblateMemoryCell(t *testing.T) {
+	rows, err := AblateMemoryCell(TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rowsByName(rows)
+	if m["edram"].AreaMM2 >= m["sram"].AreaMM2 {
+		t.Errorf("eDRAM must shrink the die: %.1f vs %.1f", m["edram"].AreaMM2, m["sram"].AreaMM2)
+	}
+}
+
+func TestAblateInterconnectAndDataflow(t *testing.T) {
+	ic, err := AblateInterconnect(TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rowsByName(ic)
+	// The multicast bus is the slower structure (the Elmore chain spans the
+	// whole row), visible in the critical-path note.
+	if !strings.Contains(m["multicast"].Note, "tu-crit") {
+		t.Errorf("missing crit-path note")
+	}
+	df, err := AblateDataflow(TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rowsByName(df)
+	if d["weight-stationary"].AreaMM2 == d["output-stationary"].AreaMM2 {
+		t.Errorf("dataflows must differ in register complement")
+	}
+}
+
+func TestAblateVRegSharing(t *testing.T) {
+	rows, err := AblateVRegSharing(TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rowsByName(rows)
+	if m["shared-ports"].AreaMM2 >= m["private-ports"].AreaMM2 {
+		t.Errorf("port sharing must shrink the chip: %.2f vs %.2f",
+			m["shared-ports"].AreaMM2, m["private-ports"].AreaMM2)
+	}
+	if !strings.Contains(m["private-ports"].Note, "10R5W") {
+		t.Errorf("private ports should be 10R5W for 4 TUs + VU: %s", m["private-ports"].Note)
+	}
+	if !strings.Contains(m["shared-ports"].Note, "4R2W") {
+		t.Errorf("shared ports should collapse to 4R2W: %s", m["shared-ports"].Note)
+	}
+}
+
+func TestAblateDataType(t *testing.T) {
+	rows, err := AblateDataType(TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rowsByName(rows)
+	i8, bf := m["int8-inference"], m["bf16-training"]
+	// BF16 multiply + FP32 accumulate costs far more area and energy per
+	// op at the same peak TOPS.
+	if bf.AreaMM2 < 1.5*i8.AreaMM2 {
+		t.Errorf("bf16 should cost >1.5x area: %.1f vs %.1f", bf.AreaMM2, i8.AreaMM2)
+	}
+	if bf.TOPSPerW >= i8.TOPSPerW {
+		t.Errorf("bf16 must be less efficient per watt")
+	}
+}
+
+func TestAllAblationsRender(t *testing.T) {
+	s, err := AllAblations(TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NoC topology", "memory cell", "interconnect",
+		"VReg port", "dataflow", "data type", "mesh2d", "edram"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}

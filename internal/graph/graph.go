@@ -1,0 +1,268 @@
+// Package graph is the computational-graph IR the performance simulator
+// consumes: a linearized list of layers (the TF-Sim role of tfGraph in the
+// paper's Fig. 1). Each layer knows its tensor shapes, its GEMM mapping
+// (im2col), its MAC count, its parameter count and its activation
+// footprint, so workload characteristics (Table II) and tile mappings fall
+// out of the same definitions.
+package graph
+
+import "fmt"
+
+// OpKind enumerates the supported layer types.
+type OpKind int
+
+const (
+	// Conv2D is a standard convolution (maps to a GEMM on the TU).
+	Conv2D OpKind = iota
+	// DepthwiseConv2D convolves each channel independently (TU-unfriendly;
+	// the simulator maps it to the vector unit).
+	DepthwiseConv2D
+	// MatMul is a fully-connected layer.
+	MatMul
+	// Pool is max/avg pooling (vector op).
+	Pool
+	// GlobalPool reduces each channel to a scalar (vector op).
+	GlobalPool
+	// Activation is ReLU/sigmoid/etc. (vector op, usually fused).
+	Activation
+	// BatchNorm is inference-time scale+shift (vector op, usually fused).
+	BatchNorm
+	// EltwiseAdd is a residual connection (vector op).
+	EltwiseAdd
+	// Concat is a channel concatenation (data movement only).
+	Concat
+	// Softmax is the classifier head (vector op).
+	Softmax
+)
+
+var kindNames = map[OpKind]string{
+	Conv2D: "conv2d", DepthwiseConv2D: "dwconv2d", MatMul: "matmul",
+	Pool: "pool", GlobalPool: "globalpool", Activation: "activation",
+	BatchNorm: "batchnorm", EltwiseAdd: "add", Concat: "concat", Softmax: "softmax",
+}
+
+func (k OpKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// IsMatrixOp reports whether the layer maps to the tensor units.
+func (k OpKind) IsMatrixOp() bool { return k == Conv2D || k == MatMul }
+
+// Layer is one node of the linearized graph. Spatial fields follow NHWC
+// conventions; MatMul uses InC -> OutC with spatial dims of 1.
+type Layer struct {
+	Name string
+	Kind OpKind
+
+	// Input spatial size and channels.
+	InH, InW, InC int
+	// OutC output channels; KH x KW kernel; Stride the (square) stride.
+	OutC, KH, KW, Stride int
+	// Pad is "same"-style padding when true (output = ceil(in/stride));
+	// otherwise valid padding.
+	SamePad bool
+	// DynamicB marks a MatMul whose B operand is an activation rather than
+	// a weight tensor (attention score/context products): it contributes
+	// MACs but no parameters.
+	DynamicB bool
+}
+
+// OutH / OutW compute the output spatial dims.
+func (l Layer) OutH() int { return l.outDim(l.InH, l.KH) }
+func (l Layer) OutW() int { return l.outDim(l.InW, l.KW) }
+
+func (l Layer) outDim(in, k int) int {
+	s := l.Stride
+	if s <= 0 {
+		s = 1
+	}
+	switch l.Kind {
+	case MatMul, Softmax:
+		return 1
+	case GlobalPool:
+		return 1
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if l.SamePad {
+		return (in + s - 1) / s
+	}
+	out := (in-k)/s + 1
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// GEMM returns the im2col GEMM dimensions per frame: M (output pixels),
+// K (reduction depth), N (output channels). Zero for non-matrix ops.
+func (l Layer) GEMM() (m, k, n int) {
+	switch l.Kind {
+	case Conv2D:
+		return l.OutH() * l.OutW(), l.InC * l.KH * l.KW, l.OutC
+	case MatMul:
+		return 1, l.InC, l.OutC
+	}
+	return 0, 0, 0
+}
+
+// MACs returns the multiply-accumulate count per frame.
+func (l Layer) MACs() int64 {
+	switch l.Kind {
+	case Conv2D, MatMul:
+		m, k, n := l.GEMM()
+		return int64(m) * int64(k) * int64(n)
+	case DepthwiseConv2D:
+		return int64(l.OutH()) * int64(l.OutW()) * int64(l.InC) * int64(l.KH) * int64(l.KW)
+	}
+	return 0
+}
+
+// VectorOps returns per-frame vector-lane operations for non-matrix layers
+// (and the bias/activation epilogue of matrix layers).
+func (l Layer) VectorOps() int64 {
+	out := int64(l.OutH()) * int64(l.OutW()) * int64(l.outChannels())
+	switch l.Kind {
+	case Conv2D, MatMul:
+		return out // bias + activation epilogue
+	case DepthwiseConv2D:
+		return l.MACs()
+	case Pool:
+		return out * int64(l.KH) * int64(l.KW)
+	case GlobalPool:
+		return int64(l.InH) * int64(l.InW) * int64(l.InC)
+	case Activation, BatchNorm, EltwiseAdd, Softmax:
+		return out
+	case Concat:
+		return 0
+	}
+	return out
+}
+
+func (l Layer) outChannels() int {
+	switch l.Kind {
+	case Conv2D, MatMul:
+		return l.OutC
+	case DepthwiseConv2D:
+		return l.InC
+	case Concat:
+		return l.OutC
+	default:
+		if l.OutC > 0 {
+			return l.OutC
+		}
+		return l.InC
+	}
+}
+
+// Params returns the weight count (Int8 quantized: bytes == params).
+func (l Layer) Params() int64 {
+	if l.DynamicB {
+		return 0
+	}
+	switch l.Kind {
+	case Conv2D:
+		return int64(l.InC)*int64(l.KH)*int64(l.KW)*int64(l.OutC) + int64(l.OutC)
+	case MatMul:
+		return int64(l.InC)*int64(l.OutC) + int64(l.OutC)
+	case DepthwiseConv2D:
+		return int64(l.InC)*int64(l.KH)*int64(l.KW) + int64(l.InC)
+	case BatchNorm:
+		return 2 * int64(l.InC)
+	}
+	return 0
+}
+
+// InBytes / OutBytes are the activation sizes per frame (Int8).
+func (l Layer) InBytes() int64 {
+	return int64(l.InH) * int64(l.InW) * int64(l.InC)
+}
+
+func (l Layer) OutBytes() int64 {
+	return int64(l.OutH()) * int64(l.OutW()) * int64(l.outChannels())
+}
+
+func (l Layer) String() string {
+	return fmt.Sprintf("%s[%s %dx%dx%d -> %dx%dx%d k%dx%d s%d]",
+		l.Name, l.Kind, l.InH, l.InW, l.InC, l.OutH(), l.OutW(), l.outChannels(),
+		l.KH, l.KW, l.Stride)
+}
+
+// Graph is a linearized model.
+type Graph struct {
+	Name   string
+	Layers []Layer
+}
+
+// MACs returns total per-frame MACs.
+func (g *Graph) MACs() int64 {
+	var total int64
+	for _, l := range g.Layers {
+		total += l.MACs()
+	}
+	return total
+}
+
+// Ops returns total per-frame operations, counting 2 per MAC plus vector
+// ops (the TOPS convention of the paper).
+func (g *Graph) Ops() int64 {
+	var total int64
+	for _, l := range g.Layers {
+		total += 2 * l.MACs()
+	}
+	return total
+}
+
+// Params returns the model size in parameters (== bytes at Int8).
+func (g *Graph) Params() int64 {
+	var total int64
+	for _, l := range g.Layers {
+		total += l.Params()
+	}
+	return total
+}
+
+// PeakDataBytes returns the peak transient activation footprint per frame
+// (Table II's #Data): the largest in+out live set across the graph, plus
+// the largest residual/branch tensor held concurrently.
+func (g *Graph) PeakDataBytes() int64 {
+	var peak int64
+	var residual int64
+	for _, l := range g.Layers {
+		live := l.InBytes() + l.OutBytes()
+		if l.Kind == EltwiseAdd || l.Kind == Concat {
+			live += residual
+		}
+		if l.Kind == Conv2D && l.Stride == 1 && l.InH == l.OutH() {
+			// A same-size conv inside a block keeps the block input alive
+			// for the residual connection.
+			residual = l.InBytes()
+		}
+		if live > peak {
+			peak = live
+		}
+	}
+	return peak
+}
+
+// Validate checks shape continuity invariants (output channels of layer i
+// feed layer i+1 for simple chains); Concat breaks strict continuity, so
+// only gross violations (zero/negative dims) are reported.
+func (g *Graph) Validate() error {
+	if len(g.Layers) == 0 {
+		return fmt.Errorf("graph %q has no layers", g.Name)
+	}
+	for i, l := range g.Layers {
+		if l.InH <= 0 || l.InW <= 0 || l.InC <= 0 {
+			return fmt.Errorf("graph %q layer %d (%s): non-positive input dims", g.Name, i, l.Name)
+		}
+		if l.Kind.IsMatrixOp() && l.OutC <= 0 {
+			return fmt.Errorf("graph %q layer %d (%s): matrix op without output channels", g.Name, i, l.Name)
+		}
+	}
+	return nil
+}

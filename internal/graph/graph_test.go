@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func conv(h, inC, outC, k, s int, same bool) Layer {
+	return Layer{Name: "c", Kind: Conv2D, InH: h, InW: h, InC: inC, OutC: outC, KH: k, KW: k, Stride: s, SamePad: same}
+}
+
+func TestOutDims(t *testing.T) {
+	for _, tc := range []struct {
+		l          Layer
+		outH, outW int
+	}{
+		{conv(224, 3, 64, 7, 2, true), 112, 112},
+		{conv(227, 3, 96, 11, 4, false), 55, 55},
+		{conv(56, 64, 64, 1, 1, true), 56, 56},
+		{conv(35, 192, 384, 3, 2, false), 17, 17},
+		{Layer{Kind: MatMul, InH: 1, InW: 1, InC: 2048, OutC: 1000}, 1, 1},
+		{Layer{Kind: GlobalPool, InH: 7, InW: 7, InC: 2048}, 1, 1},
+		{Layer{Kind: Pool, InH: 55, InW: 55, InC: 96, KH: 3, KW: 3, Stride: 2}, 27, 27},
+	} {
+		if tc.l.OutH() != tc.outH || tc.l.OutW() != tc.outW {
+			t.Errorf("%v: out %dx%d, want %dx%d", tc.l, tc.l.OutH(), tc.l.OutW(), tc.outH, tc.outW)
+		}
+	}
+}
+
+func TestGEMMAndMACs(t *testing.T) {
+	// AlexNet conv1: 55x55x96 output, K = 3*11*11 = 363 -> 105.4M MACs.
+	l := conv(227, 3, 96, 11, 4, false)
+	m, k, n := l.GEMM()
+	if m != 55*55 || k != 363 || n != 96 {
+		t.Errorf("GEMM: %d %d %d", m, k, n)
+	}
+	if l.MACs() != int64(55*55)*363*96 {
+		t.Errorf("MACs: %d", l.MACs())
+	}
+	fc := Layer{Kind: MatMul, InH: 1, InW: 1, InC: 4096, OutC: 1000}
+	if fc.MACs() != 4096*1000 {
+		t.Errorf("fc MACs: %d", fc.MACs())
+	}
+	p := Layer{Kind: Pool, InH: 10, InW: 10, InC: 8, KH: 2, KW: 2, Stride: 2}
+	if p.MACs() != 0 {
+		t.Errorf("pool has no MACs")
+	}
+}
+
+func TestDepthwiseMACs(t *testing.T) {
+	dw := Layer{Kind: DepthwiseConv2D, InH: 56, InW: 56, InC: 128, KH: 3, KW: 3, Stride: 1, SamePad: true}
+	want := int64(56*56) * 128 * 9
+	if dw.MACs() != want {
+		t.Errorf("dw MACs: %d want %d", dw.MACs(), want)
+	}
+	if m, k, n := dw.GEMM(); m != 0 || k != 0 || n != 0 {
+		t.Errorf("depthwise must not map to GEMM")
+	}
+	if dw.VectorOps() != want {
+		t.Errorf("dw vector ops: %d", dw.VectorOps())
+	}
+}
+
+func TestParams(t *testing.T) {
+	l := conv(56, 64, 256, 1, 1, true)
+	if l.Params() != 64*256+256 {
+		t.Errorf("conv params: %d", l.Params())
+	}
+	bn := Layer{Kind: BatchNorm, InH: 56, InW: 56, InC: 64}
+	if bn.Params() != 128 {
+		t.Errorf("bn params: %d", bn.Params())
+	}
+	if (Layer{Kind: Pool, InH: 4, InW: 4, InC: 4, KH: 2, KW: 2}).Params() != 0 {
+		t.Errorf("pool params must be 0")
+	}
+}
+
+func TestGraphTotals(t *testing.T) {
+	g := &Graph{Name: "toy", Layers: []Layer{
+		conv(8, 3, 16, 3, 1, true),
+		{Kind: Activation, InH: 8, InW: 8, InC: 16},
+		{Kind: MatMul, InH: 1, InW: 1, InC: 16 * 64, OutC: 10},
+	}}
+	if g.MACs() != int64(64*27*16)+int64(16*64*10) {
+		t.Errorf("MACs: %d", g.MACs())
+	}
+	if g.Ops() != 2*g.MACs() {
+		t.Errorf("Ops must be 2x MACs")
+	}
+	if g.Params() <= 0 || g.PeakDataBytes() <= 0 {
+		t.Errorf("totals must be positive")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesBadGraphs(t *testing.T) {
+	if err := (&Graph{Name: "empty"}).Validate(); err == nil {
+		t.Errorf("empty graph must fail")
+	}
+	bad := &Graph{Name: "bad", Layers: []Layer{{Kind: Conv2D, InH: 0, InW: 8, InC: 3, OutC: 8, KH: 3, KW: 3}}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("zero-dim layer must fail")
+	}
+	noOut := &Graph{Name: "noout", Layers: []Layer{{Kind: Conv2D, InH: 8, InW: 8, InC: 3, KH: 3, KW: 3}}}
+	if err := noOut.Validate(); err == nil {
+		t.Errorf("conv without OutC must fail")
+	}
+}
+
+func TestMACsNonNegativeProperty(t *testing.T) {
+	f := func(h, c, o, k uint8) bool {
+		l := conv(int(h%128)+1, int(c)%512+1, int(o)%512+1, int(k%7)+1, 1, true)
+		return l.MACs() >= 0 && l.Params() >= 0 && l.OutBytes() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	kinds := []OpKind{Conv2D, DepthwiseConv2D, MatMul, Pool, GlobalPool,
+		Activation, BatchNorm, EltwiseAdd, Concat, Softmax}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty kind string")
+		}
+	}
+	if !Conv2D.IsMatrixOp() || !MatMul.IsMatrixOp() || Pool.IsMatrixOp() {
+		t.Errorf("IsMatrixOp misclassifies")
+	}
+	if conv(8, 3, 8, 3, 1, true).String() == "" {
+		t.Errorf("empty layer string")
+	}
+}
+
+func TestVectorOpsByKind(t *testing.T) {
+	pool := Layer{Kind: Pool, InH: 10, InW: 10, InC: 8, KH: 3, KW: 3, Stride: 2}
+	if pool.VectorOps() != int64(pool.OutH()*pool.OutW()*8*9) {
+		t.Errorf("pool vector ops: %d", pool.VectorOps())
+	}
+	gp := Layer{Kind: GlobalPool, InH: 7, InW: 7, InC: 64}
+	if gp.VectorOps() != 7*7*64 {
+		t.Errorf("globalpool ops: %d", gp.VectorOps())
+	}
+	add := Layer{Kind: EltwiseAdd, InH: 8, InW: 8, InC: 16}
+	if add.VectorOps() != 8*8*16 {
+		t.Errorf("add ops: %d", add.VectorOps())
+	}
+	cc := Layer{Kind: Concat, InH: 8, InW: 8, InC: 16, OutC: 16}
+	if cc.VectorOps() != 0 {
+		t.Errorf("concat moves data, no lane ops: %d", cc.VectorOps())
+	}
+	fc := Layer{Kind: MatMul, InH: 1, InW: 1, InC: 64, OutC: 10}
+	if fc.VectorOps() != 10 {
+		t.Errorf("matmul epilogue ops: %d", fc.VectorOps())
+	}
+	sm := Layer{Kind: Softmax, InH: 1, InW: 1, InC: 100}
+	if sm.VectorOps() != 100 {
+		t.Errorf("softmax ops: %d", sm.VectorOps())
+	}
+	act := Layer{Kind: Activation, InH: 4, InW: 4, InC: 3, OutC: 0}
+	if act.VectorOps() != 4*4*3 {
+		t.Errorf("activation falls back to input channels: %d", act.VectorOps())
+	}
+}
+
+func TestParamsByKind(t *testing.T) {
+	dw := Layer{Kind: DepthwiseConv2D, InH: 8, InW: 8, InC: 16, KH: 3, KW: 3}
+	if dw.Params() != 16*9+16 {
+		t.Errorf("dw params: %d", dw.Params())
+	}
+	dyn := Layer{Kind: MatMul, InH: 1, InW: 1, InC: 64, OutC: 64, DynamicB: true}
+	if dyn.Params() != 0 {
+		t.Errorf("dynamic matmul params: %d", dyn.Params())
+	}
+	if (Layer{Kind: Softmax, InH: 1, InW: 1, InC: 10}).Params() != 0 {
+		t.Errorf("softmax has no params")
+	}
+}
+
+func TestOutChannelsFallbacks(t *testing.T) {
+	dw := Layer{Kind: DepthwiseConv2D, InH: 8, InW: 8, InC: 16, KH: 3, KW: 3, SamePad: true}
+	if dw.OutBytes() != 8*8*16 {
+		t.Errorf("dw out bytes: %d", dw.OutBytes())
+	}
+	pool := Layer{Kind: Pool, InH: 8, InW: 8, InC: 16, OutC: 16, KH: 2, KW: 2, Stride: 2}
+	if pool.OutBytes() != 4*4*16 {
+		t.Errorf("pool out bytes: %d", pool.OutBytes())
+	}
+}

@@ -1,0 +1,163 @@
+// Package maclib is NeuroMeter's empirical model for complex custom-layout
+// arithmetic blocks (multipliers, adders, fused MACs in integer and
+// floating-point formats).
+//
+// The paper notes that a purely analytical approach "does not work well for
+// complex structures that have custom layouts, such as the MAC logic", and
+// instead curve-fits synthesis results (Design Compiler + Berkeley HardFloat
+// + FreePDK) into a parameterizable numerical model. We substitute the same
+// kind of model: a reference table of area/energy/delay at a 45nm anchor
+// node (seeded from public synthesis/energy surveys, e.g. Horowitz,
+// "Computing's energy problem", ISSCC'14) that is scaled to other nodes via
+// the tech backend's gate area/energy/FO4 ratios, then calibrated at chip
+// level against TPU-v1/v2 and Eyeriss.
+package maclib
+
+import (
+	"fmt"
+
+	"neurometer/internal/pat"
+	"neurometer/internal/tech"
+)
+
+// DataType enumerates the operand formats the paper's tensor/vector units
+// support (TPU-v1 uses Int8 multiply + Int32 accumulate; TPU-v2 uses BF16
+// multiply + FP32 accumulate; Eyeriss uses Int16).
+type DataType int
+
+const (
+	Int8 DataType = iota
+	Int16
+	Int32
+	BF16
+	FP16
+	FP32
+)
+
+var dtNames = map[DataType]string{
+	Int8: "int8", Int16: "int16", Int32: "int32",
+	BF16: "bf16", FP16: "fp16", FP32: "fp32",
+}
+
+func (d DataType) String() string {
+	if s, ok := dtNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("DataType(%d)", int(d))
+}
+
+// ParseDataType converts a config string into a DataType.
+func ParseDataType(s string) (DataType, error) {
+	for d, n := range dtNames {
+		if n == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("maclib: unknown data type %q", s)
+}
+
+// Bits returns the operand width in bits.
+func (d DataType) Bits() int {
+	switch d {
+	case Int8:
+		return 8
+	case Int16, BF16, FP16:
+		return 16
+	default:
+		return 32
+	}
+}
+
+// IsFloat reports whether the type is a floating-point format.
+func (d DataType) IsFloat() bool { return d == BF16 || d == FP16 || d == FP32 }
+
+// AccumType returns the natural accumulator format for products of d:
+// integer formats accumulate in Int32; float formats in FP32 (the
+// BF16-multiply/FP32-add MXU configuration of TPU-v2).
+func (d DataType) AccumType() DataType {
+	if d.IsFloat() {
+		return FP32
+	}
+	return Int32
+}
+
+// refEntry is the 45nm anchor point for one operator: area in um^2, energy
+// in pJ per operation, delay in FO4 units.
+type refEntry struct {
+	areaUM2 float64
+	pj      float64
+	fo4     float64
+}
+
+// anchorNode is the node the reference table is expressed at.
+const anchorNode = 45
+
+// Reference tables at 45nm, ~1.0V. Values follow the public ISSCC'14 survey
+// with pipeline-latch overheads typical of synthesized datapaths.
+// Energies are ~2x the bare-datapath survey figures: synthesized netlists
+// driven with high-toggle vectors (the paper's Design Compiler flow) carry
+// wire load and glue that roughly doubles the switched capacitance.
+var multRef = map[DataType]refEntry{
+	Int8:  {areaUM2: 450, pj: 0.46, fo4: 13},
+	Int16: {areaUM2: 1650, pj: 1.7, fo4: 16},
+	Int32: {areaUM2: 5300, pj: 6.4, fo4: 20},
+	BF16:  {areaUM2: 1750, pj: 1.65, fo4: 18},
+	FP16:  {areaUM2: 2500, pj: 2.3, fo4: 19},
+	FP32:  {areaUM2: 9500, pj: 7.6, fo4: 24},
+}
+
+var addRef = map[DataType]refEntry{
+	Int8:  {areaUM2: 60, pj: 0.065, fo4: 7},
+	Int16: {areaUM2: 110, pj: 0.11, fo4: 8},
+	Int32: {areaUM2: 220, pj: 0.21, fo4: 9},
+	BF16:  {areaUM2: 1250, pj: 0.72, fo4: 16},
+	FP16:  {areaUM2: 1500, pj: 0.84, fo4: 16},
+	FP32:  {areaUM2: 4600, pj: 1.9, fo4: 18},
+}
+
+// scale transfers a 45nm reference entry to the target node: area by gate
+// density, energy by gate switching energy (which folds in the voltage
+// squared term), delay by FO4.
+func scale(n tech.Node, e refEntry) pat.Result {
+	ref := tech.MustByNode(anchorNode)
+	areaRatio := n.GateAreaUM2() / ref.GateAreaUM2()
+	energyRatio := n.GateEnergyFJ / ref.GateEnergyFJ
+	leakPerUM2 := n.GateLeakNW / n.GateAreaUM2() // nW per um^2 of logic
+	area := e.areaUM2 * areaRatio
+	return pat.Result{
+		AreaUM2: area,
+		DynPJ:   e.pj * energyRatio,
+		LeakUW:  area * leakPerUM2 / 1000,
+		DelayPS: e.fo4 * n.FO4PS,
+	}
+}
+
+// Mult returns the model for a multiplier of the given format at node n.
+func Mult(n tech.Node, d DataType) pat.Result { return scale(n, multRef[d]) }
+
+// Add returns the model for an adder of the given format at node n.
+func Add(n tech.Node, d DataType) pat.Result { return scale(n, addRef[d]) }
+
+// MAC returns the model for a fused multiply-accumulate: a multiplier in
+// format mul feeding an accumulator adder in format acc. Energy is per MAC
+// operation; delay is the combinational mult+add path (callers pipeline it
+// against their cycle time).
+func MAC(n tech.Node, mul, acc DataType) pat.Result {
+	m := Mult(n, mul)
+	a := Add(n, acc)
+	return m.Cascade(a)
+}
+
+// ALU returns the model for a general 1-D vector-lane ALU in format d:
+// an adder plus comparator/shifter/logic-ops block (~2.5x the adder's
+// complexity), used by the vector and scalar units for the non-MAC
+// operations (pooling, activation, normalization).
+func ALU(n tech.Node, d DataType) pat.Result {
+	a := Add(n, d)
+	return pat.Result{
+		AreaUM2: a.AreaUM2 * 2.5,
+		DynPJ:   a.DynPJ * 1.8,
+		LeakUW:  a.LeakUW * 2.5,
+		DelayPS: a.DelayPS * 1.2,
+	}
+}

@@ -1,0 +1,122 @@
+package maclib
+
+import (
+	"testing"
+
+	"neurometer/internal/tech"
+)
+
+var all = []DataType{Int8, Int16, Int32, BF16, FP16, FP32}
+
+func TestParseDataTypeRoundtrip(t *testing.T) {
+	for _, d := range all {
+		got, err := ParseDataType(d.String())
+		if err != nil || got != d {
+			t.Errorf("roundtrip %v: got %v err %v", d, got, err)
+		}
+	}
+	if _, err := ParseDataType("fp64"); err == nil {
+		t.Errorf("fp64 should be rejected")
+	}
+}
+
+func TestBitsAndAccum(t *testing.T) {
+	cases := map[DataType]int{Int8: 8, Int16: 16, Int32: 32, BF16: 16, FP16: 16, FP32: 32}
+	for d, bits := range cases {
+		if d.Bits() != bits {
+			t.Errorf("%v.Bits() = %d, want %d", d, d.Bits(), bits)
+		}
+	}
+	if Int8.AccumType() != Int32 || Int16.AccumType() != Int32 {
+		t.Errorf("integer accumulation must be Int32")
+	}
+	if BF16.AccumType() != FP32 || FP16.AccumType() != FP32 || FP32.AccumType() != FP32 {
+		t.Errorf("float accumulation must be FP32")
+	}
+	if Int8.IsFloat() || !BF16.IsFloat() {
+		t.Errorf("IsFloat misclassifies")
+	}
+}
+
+func TestAllOperatorsValid(t *testing.T) {
+	for _, nm := range tech.Nodes() {
+		n := tech.MustByNode(nm)
+		for _, d := range all {
+			for name, r := range map[string]func() (a, e, dl float64){
+				"mult": func() (float64, float64, float64) {
+					x := Mult(n, d)
+					return x.AreaUM2, x.DynPJ, x.DelayPS
+				},
+				"add": func() (float64, float64, float64) {
+					x := Add(n, d)
+					return x.AreaUM2, x.DynPJ, x.DelayPS
+				},
+				"alu": func() (float64, float64, float64) {
+					x := ALU(n, d)
+					return x.AreaUM2, x.DynPJ, x.DelayPS
+				},
+			} {
+				a, e, dl := r()
+				if a <= 0 || e <= 0 || dl <= 0 {
+					t.Errorf("%dnm %v %s: a=%g e=%g d=%g", nm, d, name, a, e, dl)
+				}
+			}
+		}
+	}
+}
+
+func TestWidthOrdering(t *testing.T) {
+	n := tech.MustByNode(28)
+	if !(Mult(n, Int8).AreaUM2 < Mult(n, Int16).AreaUM2 &&
+		Mult(n, Int16).AreaUM2 < Mult(n, Int32).AreaUM2) {
+		t.Errorf("int multiplier area must grow with width")
+	}
+	if !(Add(n, Int8).DynPJ < Add(n, Int32).DynPJ) {
+		t.Errorf("int adder energy must grow with width")
+	}
+	// Float adders are far more expensive than integer adders of the same width.
+	if Add(n, FP32).AreaUM2 < 5*Add(n, Int32).AreaUM2 {
+		t.Errorf("fp32 adder should dwarf int32 adder")
+	}
+	// BF16 multiplier is cheaper than FP16 (shorter mantissa).
+	if Mult(n, BF16).AreaUM2 >= Mult(n, FP16).AreaUM2 {
+		t.Errorf("bf16 mult should be cheaper than fp16")
+	}
+}
+
+func TestMACComposition(t *testing.T) {
+	n := tech.MustByNode(28)
+	mac := MAC(n, Int8, Int32)
+	m, a := Mult(n, Int8), Add(n, Int32)
+	if mac.AreaUM2 != m.AreaUM2+a.AreaUM2 {
+		t.Errorf("MAC area must be mult+add")
+	}
+	if mac.DelayPS != m.DelayPS+a.DelayPS {
+		t.Errorf("MAC delay must cascade")
+	}
+	// TPU-v2 style MXU cell: BF16 multiply, FP32 accumulate.
+	mxu := MAC(n, BF16, FP32)
+	if mxu.DynPJ <= mac.DynPJ {
+		t.Errorf("bf16/fp32 MAC must cost more than int8/int32: %g vs %g", mxu.DynPJ, mac.DynPJ)
+	}
+}
+
+func TestNodeScalingMakesOpsCheaper(t *testing.T) {
+	for _, d := range all {
+		m65 := Mult(tech.MustByNode(65), d)
+		m16 := Mult(tech.MustByNode(16), d)
+		if m16.AreaUM2 >= m65.AreaUM2 || m16.DynPJ >= m65.DynPJ || m16.DelayPS >= m65.DelayPS {
+			t.Errorf("%v mult must improve from 65nm to 16nm", d)
+		}
+	}
+}
+
+func TestInt8MACEnergyBallpark(t *testing.T) {
+	// Calibration anchor: an Int8xInt8 + Int32 MAC at 28nm should cost
+	// roughly 0.1-0.3 pJ (public survey ballpark), before array overheads.
+	n := tech.MustByNode(28)
+	mac := MAC(n, Int8, Int32)
+	if mac.DynPJ < 0.1 || mac.DynPJ > 0.6 {
+		t.Errorf("int8 MAC energy out of ballpark: %g pJ", mac.DynPJ)
+	}
+}

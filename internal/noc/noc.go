@@ -1,0 +1,296 @@
+// Package noc models NeuroMeter's Network-on-Chip: routers (input buffers,
+// crossbar, allocators) and links, composed over the supported topologies —
+// 2-D mesh, ring, bus, and H-tree (§II-A). Link width is derived from the
+// required bisection bandwidth, and link wires are repeated and pipelined
+// against the clock.
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"neurometer/internal/circuit"
+	"neurometer/internal/pat"
+	"neurometer/internal/tech"
+)
+
+// Topology enumerates the supported NoC shapes.
+type Topology int
+
+const (
+	Mesh2D Topology = iota
+	Ring
+	Bus
+	HTree
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Mesh2D:
+		return "mesh2d"
+	case Ring:
+		return "ring"
+	case Bus:
+		return "bus"
+	case HTree:
+		return "htree"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// Config describes a chip-level interconnect.
+type Config struct {
+	Node     tech.Node
+	Topology Topology
+	// Tx x Ty tiles (Ring/Bus/HTree use Tx*Ty as the node count).
+	Tx, Ty int
+	// TileMM is the tile pitch in millimetres (link length).
+	TileMM float64
+	// BisectionGBps is the required bisection bandwidth per direction.
+	// FlitBits is derived from it; a non-zero FlitBits overrides.
+	BisectionGBps float64
+	FlitBits      int
+	// ClockHz is the NoC clock (defaults to the core clock).
+	ClockHz float64
+	// VCs and BufDepth parameterize the router input buffering
+	// (defaults 2 VCs x 8 flits).
+	VCs      int
+	BufDepth int
+	// CyclePS is the target clock period for link pipelining.
+	CyclePS float64
+}
+
+// Network is an evaluated NoC.
+type Network struct {
+	Cfg Config
+
+	router     pat.Result // one router
+	link       pat.Result // one link (pipelined)
+	linkStages int
+	numRouters int
+	numLinks   int
+	radix      int
+	flitBits   int
+}
+
+// Build evaluates the NoC.
+func Build(cfg Config) (*Network, error) {
+	if cfg.Tx <= 0 || cfg.Ty <= 0 {
+		return nil, fmt.Errorf("noc: topology must have positive dimensions, got %dx%d", cfg.Tx, cfg.Ty)
+	}
+	if cfg.CyclePS <= 0 {
+		return nil, fmt.Errorf("noc: CyclePS must be positive")
+	}
+	if cfg.TileMM <= 0 {
+		return nil, fmt.Errorf("noc: TileMM must be positive")
+	}
+	if cfg.ClockHz <= 0 {
+		cfg.ClockHz = 1e12 / cfg.CyclePS
+	}
+	n := cfg.Node
+	tiles := cfg.Tx * cfg.Ty
+	net := &Network{Cfg: cfg}
+
+	// ---- Flit width from bisection bandwidth -------------------------------
+	flitBits := cfg.FlitBits
+	if flitBits <= 0 {
+		cut := bisectionLinks(cfg.Topology, cfg.Tx, cfg.Ty)
+		bytesPerCycle := cfg.BisectionGBps * 1e9 / cfg.ClockHz
+		if bytesPerCycle <= 0 {
+			bytesPerCycle = 16 // default 16B flits
+			cut = 1
+		}
+		flitBits = int(math.Ceil(bytesPerCycle*8/float64(cut)/8)) * 8
+		if flitBits < 32 {
+			flitBits = 32
+		}
+	}
+	net.flitBits = flitBits
+
+	// ---- Topology shape -----------------------------------------------------
+	switch cfg.Topology {
+	case Mesh2D:
+		net.radix = 5
+		net.numRouters = tiles
+		net.numLinks = cfg.Tx*(cfg.Ty-1) + cfg.Ty*(cfg.Tx-1)
+	case Ring:
+		net.radix = 3
+		net.numRouters = tiles
+		net.numLinks = tiles
+		if tiles == 1 {
+			net.numLinks = 0
+		}
+	case Bus:
+		net.radix = 0 // no routers: central arbiter modeled in the link
+		net.numRouters = 0
+		net.numLinks = 1
+	case HTree:
+		net.radix = 3
+		net.numRouters = maxI(tiles-1, 0)
+		net.numLinks = maxI(2*(tiles-1), 0)
+	default:
+		return nil, fmt.Errorf("noc: unknown topology %v", cfg.Topology)
+	}
+
+	// ---- Router -------------------------------------------------------------
+	if net.radix > 0 {
+		vcs := cfg.VCs
+		if vcs <= 0 {
+			vcs = 2
+		}
+		depth := cfg.BufDepth
+		if depth <= 0 {
+			depth = 8
+		}
+		buf := circuit.FIFO{Node: n, Depth: vcs * depth, Bits: flitBits}.Eval()
+		xbar := circuit.Crossbar{Node: n, Inputs: net.radix, Outputs: net.radix, Bits: flitBits}.Eval()
+		allocGates := float64(net.radix*net.radix*vcs*14 + 400)
+		aArea, aDyn, aLeak := n.LogicBlock(allocGates, 0.25)
+		r := pat.Result{
+			AreaUM2: (buf.AreaUM2*float64(net.radix) + xbar.AreaUM2 + aArea) * 1.15,
+			// Per flit traversal: one buffer write+read, one crossbar pass,
+			// allocation.
+			DynPJ:   buf.DynPJ + xbar.DynPJ + aDyn,
+			LeakUW:  buf.LeakUW*float64(net.radix) + xbar.LeakUW + aLeak,
+			DelayPS: math.Max(buf.DelayPS, xbar.DelayPS) + 4*n.FO4PS,
+		}
+		net.router = r
+	}
+
+	// ---- Link ----------------------------------------------------------------
+	linkLen := cfg.TileMM
+	switch cfg.Topology {
+	case Bus:
+		// The bus spans the whole tile row plus arbiter.
+		linkLen = cfg.TileMM * float64(tiles) * 0.6
+	case HTree:
+		// Average branch length grows toward the root; use 1.5 tiles.
+		linkLen = cfg.TileMM * 1.5
+	}
+	wire := circuit.Wire{
+		Node: n, Layer: tech.WireGlobal,
+		LengthMM: linkLen,
+		Bits:     flitBits,
+	}
+	link, stages := wire.Pipelined(cfg.CyclePS)
+	// Links ride the global metal layers over logic: only the repeaters and
+	// pipeline DFFs consume silicon, plus a 10% keep-out under the tracks.
+	link.AreaUM2 -= wire.TrackAreaUM2() * 0.9
+	if link.AreaUM2 < 0 {
+		link.AreaUM2 = 0
+	}
+	if cfg.Topology == Bus {
+		arbArea, arbDyn, arbLeak := n.LogicBlock(float64(tiles*60+300), 0.25)
+		link.AreaUM2 += arbArea
+		link.DynPJ += arbDyn
+		link.LeakUW += arbLeak
+	}
+	net.link = link
+	net.linkStages = stages
+	return net, nil
+}
+
+func bisectionLinks(t Topology, tx, ty int) int {
+	switch t {
+	case Mesh2D:
+		// Cut perpendicular to the longer axis.
+		if tx < ty {
+			return tx
+		}
+		return ty
+	case Ring:
+		return 2
+	default: // Bus, HTree: a single (wide) channel crosses the cut
+		return 1
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FlitBits returns the derived flit width.
+func (nw *Network) FlitBits() int { return nw.flitBits }
+
+// Routers and Links return the element counts.
+func (nw *Network) Routers() int { return nw.numRouters }
+func (nw *Network) Links() int   { return nw.numLinks }
+
+// LinkStages returns the pipeline depth of one link.
+func (nw *Network) LinkStages() int { return nw.linkStages }
+
+// AvgHops returns the average router-to-router hop count for uniform
+// traffic, used by the performance simulator.
+func (nw *Network) AvgHops() float64 {
+	tx, ty := float64(nw.Cfg.Tx), float64(nw.Cfg.Ty)
+	tiles := tx * ty
+	switch nw.Cfg.Topology {
+	case Mesh2D:
+		return (tx + ty) / 3
+	case Ring:
+		return tiles / 4
+	case Bus:
+		return 1
+	case HTree:
+		return math.Max(1, math.Log2(tiles))
+	}
+	return 1
+}
+
+// HopLatencyCycles returns the per-hop latency in cycles (router pipeline +
+// link stages).
+func (nw *Network) HopLatencyCycles() float64 {
+	return 2 + float64(nw.linkStages)
+}
+
+// EnergyPerFlitHopPJ returns the dynamic energy of moving one flit one hop
+// (router traversal + link).
+func (nw *Network) EnergyPerFlitHopPJ() float64 {
+	return nw.router.DynPJ + nw.link.DynPJ
+}
+
+// EnergyPerBytePJ returns the average energy to move one byte across the
+// network (AvgHops hops).
+func (nw *Network) EnergyPerBytePJ() float64 {
+	flitBytes := float64(nw.flitBits) / 8
+	return nw.EnergyPerFlitHopPJ() / flitBytes * nw.AvgHops()
+}
+
+// PeakBytesPerCycle returns the aggregate injection bandwidth.
+func (nw *Network) PeakBytesPerCycle() float64 {
+	nodes := float64(nw.Cfg.Tx * nw.Cfg.Ty)
+	return nodes * float64(nw.flitBits) / 8
+}
+
+// AreaUM2 returns the total NoC area (routers + links).
+func (nw *Network) AreaUM2() float64 {
+	return nw.router.AreaUM2*float64(nw.numRouters) + nw.link.AreaUM2*float64(nw.numLinks)
+}
+
+// LeakUW returns total NoC leakage.
+func (nw *Network) LeakUW() float64 {
+	return nw.router.LeakUW*float64(nw.numRouters) + nw.link.LeakUW*float64(nw.numLinks)
+}
+
+// RouterResult and LinkResult expose per-element models.
+func (nw *Network) RouterResult() pat.Result { return nw.router }
+func (nw *Network) LinkResult() pat.Result   { return nw.link }
+
+// Result summarizes the NoC; DynPJ is per flit-hop.
+func (nw *Network) Result() pat.Result {
+	return pat.Result{
+		AreaUM2: nw.AreaUM2(),
+		DynPJ:   nw.EnergyPerFlitHopPJ(),
+		LeakUW:  nw.LeakUW(),
+		DelayPS: math.Max(nw.router.DelayPS, nw.link.DelayPS),
+	}
+}
+
+func (nw *Network) String() string {
+	return fmt.Sprintf("noc[%s %dx%d flit=%db routers=%d links=%d area=%.3fmm2]",
+		nw.Cfg.Topology, nw.Cfg.Tx, nw.Cfg.Ty, nw.flitBits, nw.numRouters,
+		nw.numLinks, nw.AreaUM2()/1e6)
+}

@@ -1,0 +1,187 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+
+	"neurometer/internal/tech"
+)
+
+const cycle700 = 1e12 / 700e6
+
+func mesh(tx, ty int) Config {
+	return Config{
+		Node: tech.MustByNode(28), Topology: Mesh2D,
+		Tx: tx, Ty: ty, TileMM: 3.0,
+		BisectionGBps: 256, CyclePS: cycle700,
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	c := mesh(0, 4)
+	if _, err := Build(c); err == nil {
+		t.Errorf("zero dimension must fail")
+	}
+	c = mesh(2, 2)
+	c.CyclePS = 0
+	if _, err := Build(c); err == nil {
+		t.Errorf("zero cycle must fail")
+	}
+	c = mesh(2, 2)
+	c.TileMM = 0
+	if _, err := Build(c); err == nil {
+		t.Errorf("zero tile must fail")
+	}
+}
+
+func TestMeshShape(t *testing.T) {
+	n, err := Build(mesh(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Routers() != 32 {
+		t.Errorf("routers: %d", n.Routers())
+	}
+	// 4*(8-1) + 8*(4-1) = 28+24 = 52 links.
+	if n.Links() != 52 {
+		t.Errorf("links: %d", n.Links())
+	}
+	// Bisection: cut perpendicular to the long axis crosses Tx=4 links;
+	// 256GB/s over 4 links at 700MHz = ~91B per flit -> 736 bits.
+	if n.FlitBits() != 736 {
+		t.Errorf("flit bits: %d", n.FlitBits())
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		topo           Topology
+		tx, ty         int
+		routers, links int
+	}{
+		{Mesh2D, 2, 2, 4, 4},
+		{Ring, 1, 4, 4, 4},
+		{Bus, 1, 4, 0, 1},
+		{HTree, 2, 4, 7, 14},
+	} {
+		c := mesh(tc.tx, tc.ty)
+		c.Topology = tc.topo
+		n, err := Build(c)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.topo, err)
+		}
+		if n.Routers() != tc.routers || n.Links() != tc.links {
+			t.Errorf("%v %dx%d: routers=%d links=%d, want %d/%d",
+				tc.topo, tc.tx, tc.ty, n.Routers(), n.Links(), tc.routers, tc.links)
+		}
+		if n.AvgHops() <= 0 {
+			t.Errorf("%v: AvgHops=%g", tc.topo, n.AvgHops())
+		}
+		if n.Result().Valid() == false {
+			t.Errorf("%v: invalid result", tc.topo)
+		}
+	}
+}
+
+func TestSingleTileRingHasNoLinks(t *testing.T) {
+	c := mesh(1, 1)
+	c.Topology = Ring
+	n, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Links() != 0 {
+		t.Errorf("1-tile ring links: %d", n.Links())
+	}
+}
+
+func TestWiderBisectionCostsMore(t *testing.T) {
+	lo, err := Build(mesh(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiCfg := mesh(4, 4)
+	hiCfg.BisectionGBps = 1024
+	hi, err := Build(hiCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.FlitBits() <= lo.FlitBits() {
+		t.Errorf("4x bandwidth must widen flits: %d vs %d", hi.FlitBits(), lo.FlitBits())
+	}
+	if hi.AreaUM2() <= lo.AreaUM2() {
+		t.Errorf("wider NoC must cost more area")
+	}
+}
+
+func TestMoreTilesMoreOverhead(t *testing.T) {
+	// Wimpy designs pay more NoC: a 8x8 mesh has far more routers/links
+	// than 2x2 at the same bisection bandwidth.
+	small, err := Build(mesh(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(mesh(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.AreaUM2() <= small.AreaUM2() {
+		t.Errorf("more tiles must cost more NoC area")
+	}
+	if big.AvgHops() <= small.AvgHops() {
+		t.Errorf("more tiles must mean more hops")
+	}
+}
+
+func TestExplicitFlitOverride(t *testing.T) {
+	c := mesh(4, 4)
+	c.FlitBits = 128
+	n, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.FlitBits() != 128 {
+		t.Errorf("flit override ignored: %d", n.FlitBits())
+	}
+}
+
+func TestLinkPipelining(t *testing.T) {
+	// Long tiles at a fast clock force link pipeline stages.
+	c := mesh(4, 4)
+	c.TileMM = 8
+	c.CyclePS = 400
+	n, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.LinkStages() < 1 {
+		t.Errorf("8mm link at 2.5GHz must pipeline")
+	}
+	if n.HopLatencyCycles() <= 2 {
+		t.Errorf("hop latency must include link stages")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	n, err := Build(mesh(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.EnergyPerFlitHopPJ() <= 0 || n.EnergyPerBytePJ() <= 0 {
+		t.Errorf("energies must be positive")
+	}
+	if n.PeakBytesPerCycle() <= 0 {
+		t.Errorf("peak bandwidth must be positive")
+	}
+	if n.RouterResult().AreaUM2 <= 0 || n.LinkResult().DynPJ <= 0 {
+		t.Errorf("element results must be populated")
+	}
+	if !strings.Contains(n.String(), "mesh2d") {
+		t.Errorf("String: %q", n.String())
+	}
+	for _, topo := range []Topology{Mesh2D, Ring, Bus, HTree} {
+		if topo.String() == "" {
+			t.Errorf("empty topology string")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package onchipmem
+
+import (
+	"testing"
+
+	"neurometer/internal/tech"
+)
+
+const cycle700 = 1e12 / 700e6
+
+func unified(capBytes int64) Config {
+	return Config{
+		Node: tech.MustByNode(28), Cell: tech.CellSRAM,
+		Style:   Scratchpad,
+		CyclePS: cycle700,
+		Segments: []Segment{{
+			Name: "unified", CapacityBytes: capBytes, BlockBytes: 256,
+		}},
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	c := unified(1 << 20)
+	c.Segments = nil
+	if _, err := Build(c); err == nil {
+		t.Errorf("no segments must fail")
+	}
+	c = unified(1 << 20)
+	c.CyclePS = 0
+	if _, err := Build(c); err == nil {
+		t.Errorf("zero cycle must fail")
+	}
+	c = unified(0)
+	if _, err := Build(c); err == nil {
+		t.Errorf("zero-capacity segment must fail")
+	}
+}
+
+func TestUnifiedScratchpad(t *testing.T) {
+	m, err := Build(unified(4 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CapacityBytes() != 4<<20 {
+		t.Errorf("capacity: %d", m.CapacityBytes())
+	}
+	if m.AreaUM2() <= 0 || m.LeakUW() <= 0 || m.AccessDelayPS() <= 0 {
+		t.Errorf("degenerate: %v", m)
+	}
+	if m.Segments[0].Tags != nil {
+		t.Errorf("scratchpads have no tags")
+	}
+	if m.ReadEnergyPJ("") <= 0 || m.WriteEnergyPJ("unified") <= 0 {
+		t.Errorf("energies must be positive")
+	}
+	if m.ReadEnergyPJ("missing") != 0 {
+		t.Errorf("missing segment must report zero")
+	}
+}
+
+func TestDedicatedStructure(t *testing.T) {
+	// Eyeriss-style: separate weight/activation/psum segments.
+	cfg := Config{
+		Node: tech.MustByNode(65), Cell: tech.CellSRAM,
+		Style:   Scratchpad,
+		CyclePS: 1e12 / 200e6,
+		Segments: []Segment{
+			{Name: "ifmap", CapacityBytes: 48 << 10, BlockBytes: 8},
+			{Name: "weights", CapacityBytes: 44 << 10, BlockBytes: 8},
+			{Name: "psum", CapacityBytes: 16 << 10, BlockBytes: 8},
+		},
+	}
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) != 3 {
+		t.Fatalf("segments: %d", len(m.Segments))
+	}
+	if m.CapacityBytes() != 108<<10 {
+		t.Errorf("capacity: %d", m.CapacityBytes())
+	}
+	if m.Segment("psum") == nil || m.Segment("nope") != nil {
+		t.Errorf("Segment lookup broken")
+	}
+}
+
+func TestCacheAddsTags(t *testing.T) {
+	c := unified(2 << 20)
+	c.Style = Cache
+	cache, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spad, err := Build(unified(2 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Segments[0].Tags == nil {
+		t.Fatalf("cache must have tags")
+	}
+	if cache.AreaUM2() <= spad.AreaUM2() {
+		t.Errorf("cache must be bigger than scratchpad: %g vs %g", cache.AreaUM2(), spad.AreaUM2())
+	}
+	if cache.ReadEnergyPJ("") <= spad.ReadEnergyPJ("") {
+		t.Errorf("cache read must cost more (tag check)")
+	}
+}
+
+func TestEDRAMDenser(t *testing.T) {
+	s := unified(8 << 20)
+	sr, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := unified(8 << 20)
+	e.Cell = tech.CellEDRAM
+	ed, err := Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed.AreaUM2() >= sr.AreaUM2() {
+		t.Errorf("eDRAM mem must be denser: %g vs %g", ed.AreaUM2(), sr.AreaUM2())
+	}
+}
+
+func TestThroughputPropagates(t *testing.T) {
+	lo, err := Build(unified(4 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := unified(4 << 20)
+	hi.Segments[0].ReadBytesPerCycle = 4096
+	hi.Segments[0].WriteBytesPerCycle = 2048
+	hiM, err := Build(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loOrg := lo.Segments[0].Data.Org
+	hiOrg := hiM.Segments[0].Data.Org
+	if hiOrg.Banks*hiOrg.ReadPorts <= loOrg.Banks*loOrg.ReadPorts {
+		t.Errorf("throughput must force bank/port growth: %+v vs %+v", hiOrg, loOrg)
+	}
+	if m := hiM.Result(); !m.Valid() {
+		t.Errorf("invalid result")
+	}
+	if hiM.String() == "" {
+		t.Errorf("empty string")
+	}
+}

@@ -1,0 +1,200 @@
+// Package pat defines the shared power/area/timing result types used by
+// every NeuroMeter component model.
+//
+// Components report a Result (area, per-operation dynamic energy, static
+// leakage, and critical-path delay). Assemblies aggregate child Results into
+// a Breakdown tree so that chip-level reports can be decomposed exactly the
+// way the paper's ring charts are (Figs. 3-5, 8).
+package pat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Result is the power/area/timing summary of a single hardware component.
+//
+// Units are chosen so that typical component values are O(1)-O(1e6) and
+// conversions stay explicit:
+//
+//	AreaUM2   - layout area in square micrometres
+//	DynPJ     - dynamic energy per operation (access, MAC, flit, ...) in pJ
+//	LeakUW    - static leakage power in microwatts
+//	DelayPS   - critical-path propagation delay in picoseconds
+type Result struct {
+	AreaUM2 float64
+	DynPJ   float64
+	LeakUW  float64
+	DelayPS float64
+}
+
+// Add returns the component-wise sum of r and o. Delay is combined as the
+// max of the two paths (parallel composition); use Cascade for series paths.
+func (r Result) Add(o Result) Result {
+	return Result{
+		AreaUM2: r.AreaUM2 + o.AreaUM2,
+		DynPJ:   r.DynPJ + o.DynPJ,
+		LeakUW:  r.LeakUW + o.LeakUW,
+		DelayPS: math.Max(r.DelayPS, o.DelayPS),
+	}
+}
+
+// Cascade returns the series composition of r followed by o: areas, energies
+// and leakage add, and delays add because the signal traverses both.
+func (r Result) Cascade(o Result) Result {
+	return Result{
+		AreaUM2: r.AreaUM2 + o.AreaUM2,
+		DynPJ:   r.DynPJ + o.DynPJ,
+		LeakUW:  r.LeakUW + o.LeakUW,
+		DelayPS: r.DelayPS + o.DelayPS,
+	}
+}
+
+// Scale returns r with area, energy and leakage multiplied by n (n parallel
+// instances). Delay is unchanged: replication does not slow the unit.
+func (r Result) Scale(n float64) Result {
+	return Result{
+		AreaUM2: r.AreaUM2 * n,
+		DynPJ:   r.DynPJ * n,
+		LeakUW:  r.LeakUW * n,
+		DelayPS: r.DelayPS,
+	}
+}
+
+// AreaMM2 converts the component area to square millimetres.
+func (r Result) AreaMM2() float64 { return r.AreaUM2 / 1e6 }
+
+// DynPowerW returns the dynamic power in watts when the component performs
+// ops operations per second at activity factor alpha in [0,1].
+func (r Result) DynPowerW(opsPerSec, alpha float64) float64 {
+	return r.DynPJ * 1e-12 * opsPerSec * alpha
+}
+
+// LeakW returns the leakage power in watts.
+func (r Result) LeakW() float64 { return r.LeakUW * 1e-6 }
+
+// Valid reports whether every field is finite and non-negative. Models use
+// it in tests as a basic sanity invariant.
+func (r Result) Valid() bool {
+	for _, v := range []float64{r.AreaUM2, r.DynPJ, r.LeakUW, r.DelayPS} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("area=%.1fum2 dyn=%.3fpJ leak=%.2fuW delay=%.1fps",
+		r.AreaUM2, r.DynPJ, r.LeakUW, r.DelayPS)
+}
+
+// Breakdown is a named tree of area/power contributions. The root's totals
+// must equal the sum of its children (plus any unattributed remainder the
+// builder adds explicitly, e.g. the "white space" entries of Figs. 3-4).
+type Breakdown struct {
+	Name     string
+	AreaMM2  float64
+	PowerW   float64
+	Children []*Breakdown
+}
+
+// NewBreakdown returns a leaf node.
+func NewBreakdown(name string, areaMM2, powerW float64) *Breakdown {
+	return &Breakdown{Name: name, AreaMM2: areaMM2, PowerW: powerW}
+}
+
+// AddChild appends child and accumulates its totals into b.
+func (b *Breakdown) AddChild(child *Breakdown) {
+	b.Children = append(b.Children, child)
+	b.AreaMM2 += child.AreaMM2
+	b.PowerW += child.PowerW
+}
+
+// Child returns the direct child with the given name, or nil.
+func (b *Breakdown) Child(name string) *Breakdown {
+	for _, c := range b.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Find returns the first node with the given name in a depth-first walk of
+// the tree rooted at b (including b itself), or nil.
+func (b *Breakdown) Find(name string) *Breakdown {
+	if b.Name == name {
+		return b
+	}
+	for _, c := range b.Children {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// AreaShare returns the fraction of b's total area contributed by the direct
+// child with the given name (0 if absent or the total is zero).
+func (b *Breakdown) AreaShare(name string) float64 {
+	c := b.Child(name)
+	if c == nil || b.AreaMM2 == 0 {
+		return 0
+	}
+	return c.AreaMM2 / b.AreaMM2
+}
+
+// PowerShare returns the fraction of b's total power contributed by the
+// direct child with the given name (0 if absent or the total is zero).
+func (b *Breakdown) PowerShare(name string) float64 {
+	c := b.Child(name)
+	if c == nil || b.PowerW == 0 {
+		return 0
+	}
+	return c.PowerW / b.PowerW
+}
+
+// Consistent reports whether, at every internal node, the node totals equal
+// the sum of the children within the given relative tolerance.
+func (b *Breakdown) Consistent(tol float64) bool {
+	if len(b.Children) == 0 {
+		return true
+	}
+	var area, power float64
+	for _, c := range b.Children {
+		if !c.Consistent(tol) {
+			return false
+		}
+		area += c.AreaMM2
+		power += c.PowerW
+	}
+	return approxEq(area, b.AreaMM2, tol) && approxEq(power, b.PowerW, tol)
+}
+
+func approxEq(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m || d < 1e-12
+}
+
+// String renders the tree with children sorted by descending area, matching
+// the report layout of the cmd tools.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	b.write(&sb, 0)
+	return sb.String()
+}
+
+func (b *Breakdown) write(sb *strings.Builder, depth int) {
+	fmt.Fprintf(sb, "%s%-28s %10.3f mm2 %10.3f W\n",
+		strings.Repeat("  ", depth), b.Name, b.AreaMM2, b.PowerW)
+	kids := make([]*Breakdown, len(b.Children))
+	copy(kids, b.Children)
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].AreaMM2 > kids[j].AreaMM2 })
+	for _, c := range kids {
+		c.write(sb, depth+1)
+	}
+}

@@ -1,0 +1,155 @@
+package pat
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndCascade(t *testing.T) {
+	a := Result{AreaUM2: 10, DynPJ: 1, LeakUW: 0.5, DelayPS: 100}
+	b := Result{AreaUM2: 20, DynPJ: 2, LeakUW: 1.0, DelayPS: 50}
+	sum := a.Add(b)
+	if sum.AreaUM2 != 30 || sum.DynPJ != 3 || sum.LeakUW != 1.5 {
+		t.Errorf("Add: %+v", sum)
+	}
+	if sum.DelayPS != 100 {
+		t.Errorf("Add delay should be max: %v", sum.DelayPS)
+	}
+	cas := a.Cascade(b)
+	if cas.DelayPS != 150 {
+		t.Errorf("Cascade delay should sum: %v", cas.DelayPS)
+	}
+	if cas.AreaUM2 != 30 {
+		t.Errorf("Cascade area: %v", cas.AreaUM2)
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := Result{AreaUM2: 10, DynPJ: 1, LeakUW: 0.5, DelayPS: 100}
+	s := a.Scale(4)
+	if s.AreaUM2 != 40 || s.DynPJ != 4 || s.LeakUW != 2 {
+		t.Errorf("Scale: %+v", s)
+	}
+	if s.DelayPS != 100 {
+		t.Errorf("Scale must not change delay: %v", s.DelayPS)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	r := Result{AreaUM2: 2e6, DynPJ: 10, LeakUW: 1500}
+	if r.AreaMM2() != 2 {
+		t.Errorf("AreaMM2: %v", r.AreaMM2())
+	}
+	if math.Abs(r.LeakW()-0.0015) > 1e-12 {
+		t.Errorf("LeakW: %v", r.LeakW())
+	}
+	// 10pJ at 1GHz, full activity = 10mW.
+	if p := r.DynPowerW(1e9, 1.0); math.Abs(p-0.01) > 1e-12 {
+		t.Errorf("DynPowerW: %v", p)
+	}
+	if p := r.DynPowerW(1e9, 0.5); math.Abs(p-0.005) > 1e-12 {
+		t.Errorf("DynPowerW half activity: %v", p)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !(Result{}).Valid() {
+		t.Errorf("zero result must be valid")
+	}
+	if (Result{AreaUM2: -1}).Valid() {
+		t.Errorf("negative area must be invalid")
+	}
+	if (Result{DynPJ: math.NaN()}).Valid() {
+		t.Errorf("NaN must be invalid")
+	}
+	if (Result{DelayPS: math.Inf(1)}).Valid() {
+		t.Errorf("Inf must be invalid")
+	}
+}
+
+func TestAddPreservesValidityProperty(t *testing.T) {
+	f := func(a1, d1, l1, t1, a2, d2, l2, t2 uint16) bool {
+		r1 := Result{float64(a1), float64(d1), float64(l1), float64(t1)}
+		r2 := Result{float64(a2), float64(d2), float64(l2), float64(t2)}
+		return r1.Add(r2).Valid() && r1.Cascade(r2).Valid() && r1.Scale(3).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildTree() *Breakdown {
+	root := NewBreakdown("chip", 0, 0)
+	core := NewBreakdown("core", 0, 0)
+	core.AddChild(NewBreakdown("tu", 50, 20))
+	core.AddChild(NewBreakdown("mem", 100, 10))
+	root.AddChild(core)
+	root.AddChild(NewBreakdown("noc", 30, 5))
+	return root
+}
+
+func TestBreakdownAggregation(t *testing.T) {
+	root := buildTree()
+	if root.AreaMM2 != 180 || root.PowerW != 35 {
+		t.Fatalf("root totals: %v %v", root.AreaMM2, root.PowerW)
+	}
+	if !root.Consistent(1e-9) {
+		t.Errorf("tree should be consistent")
+	}
+	root.AreaMM2 += 50 // tamper
+	if root.Consistent(1e-9) {
+		t.Errorf("tampered tree should be inconsistent")
+	}
+	if root.Consistent(0.5) != true {
+		t.Errorf("loose tolerance should pass")
+	}
+}
+
+func TestBreakdownLookups(t *testing.T) {
+	root := buildTree()
+	if root.Child("core") == nil || root.Child("tu") != nil {
+		t.Errorf("Child must be direct-only")
+	}
+	if root.Find("tu") == nil {
+		t.Errorf("Find must be recursive")
+	}
+	if root.Find("nope") != nil {
+		t.Errorf("Find miss should be nil")
+	}
+	if s := root.AreaShare("noc"); math.Abs(s-30.0/180.0) > 1e-12 {
+		t.Errorf("AreaShare: %v", s)
+	}
+	if s := root.PowerShare("core"); math.Abs(s-30.0/35.0) > 1e-12 {
+		t.Errorf("PowerShare: %v", s)
+	}
+	if root.AreaShare("nope") != 0 {
+		t.Errorf("missing child share must be 0")
+	}
+	empty := NewBreakdown("x", 0, 0)
+	empty.Children = append(empty.Children, NewBreakdown("y", 0, 0))
+	if empty.AreaShare("y") != 0 {
+		t.Errorf("zero-total share must be 0")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	s := buildTree().String()
+	for _, want := range []string{"chip", "core", "tu", "mem", "noc"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	// Children are sorted by descending area: "mem" (100) before "tu" (50).
+	if strings.Index(s, "mem") > strings.Index(s, "tu") {
+		t.Errorf("children not sorted by area:\n%s", s)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := (Result{AreaUM2: 1, DynPJ: 2, LeakUW: 3, DelayPS: 4}).String()
+	if !strings.Contains(s, "area=") || !strings.Contains(s, "delay=") {
+		t.Errorf("String: %q", s)
+	}
+}

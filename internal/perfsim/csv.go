@@ -1,0 +1,26 @@
+package perfsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LayersCSV renders the per-layer statistics as CSV — the interchange
+// format for plotting scripts and for debugging mapping decisions (which
+// layers went n-split vs m-split, where the NoC or HBM bound).
+func (r *Result) LayersCSV() string {
+	var sb strings.Builder
+	sb.WriteString("layer,kind,mapping,cycles,compute,noc,hbm,vu,overhead,macs\n")
+	for _, l := range r.Layers {
+		fmt.Fprintf(&sb, "%s,%s,%s,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n",
+			l.Name, l.Kind, l.Mapping, l.Cycles, l.ComputeCycles, l.NoCCycles,
+			l.HBMCycles, l.VUCycles, l.Overhead, l.MACs)
+	}
+	return sb.String()
+}
+
+// Summary renders the headline quantities in one line.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("batch=%d time=%.3fms fps=%.1f achieved=%.2fTOPS util=%.1f%%",
+		r.Batch, r.TimeSec*1e3, r.FPS, r.AchievedTOPS, r.Utilization*100)
+}

@@ -1,0 +1,454 @@
+// Package perfsim is the performance simulator NeuroMeter pairs with for
+// runtime analysis — the role TF-Sim ([9], unpublished) plays in the paper.
+//
+// It maps each layer of a computational graph onto a many-core systolic
+// accelerator at tile granularity: weight tiles of X x X are distributed
+// over the chip's tensor units, activations stream through (fill/drain
+// modeled), partial-sum merging and activation/weight broadcast cross the
+// NoC, and off-chip traffic rides the HBM roofline. The graph-level
+// optimizations the paper credits to TF-Sim (Fig. 7) are implemented as
+// options: Space-to-Batch, Space-to-Depth, and double buffering.
+//
+// The simulator deliberately stays analytical (per-layer closed forms) —
+// the paper's methodology — rather than cycle-accurate.
+package perfsim
+
+import (
+	"fmt"
+	"math"
+
+	"neurometer/internal/chip"
+	"neurometer/internal/graph"
+)
+
+// Options toggles the software optimizations (Fig. 7's "before/after").
+type Options struct {
+	// SpaceToDepth folds spatial positions into the reduction dimension for
+	// early layers whose channel depth underfills the array rows.
+	SpaceToDepth bool
+	// SpaceToBatch splits large spatial extents across cores like extra
+	// batch, avoiding whole-activation broadcasts.
+	SpaceToBatch bool
+	// DoubleBuffer overlaps weight loading and off-chip/NoC transfers with
+	// compute.
+	DoubleBuffer bool
+}
+
+// DefaultOptions enables everything (the paper's "after optimization").
+func DefaultOptions() Options {
+	return Options{SpaceToDepth: true, SpaceToBatch: true, DoubleBuffer: true}
+}
+
+// NoOptimizations is the "before" configuration of Fig. 7.
+func NoOptimizations() Options { return Options{} }
+
+// LayerStat records the simulated execution of one layer (for one batch).
+type LayerStat struct {
+	Name          string
+	Kind          graph.OpKind
+	Cycles        float64
+	ComputeCycles float64
+	NoCCycles     float64
+	HBMCycles     float64
+	VUCycles      float64
+	Overhead      float64
+	MACs          float64
+	Mapping       string // "n-split" | "m-split" | "vector"
+	// Per-layer traffic, for activity-trace generation.
+	MemReadBytes  float64
+	MemWriteBytes float64
+	NoCBytes      float64
+	HBMBytes      float64
+	StreamMACs    float64
+}
+
+// Result is the outcome of simulating one batch through the graph.
+type Result struct {
+	Batch        int
+	Cycles       float64
+	TimeSec      float64
+	LatencySec   float64 // == TimeSec (one batch in flight)
+	FPS          float64
+	AchievedTOPS float64
+	Utilization  float64
+	Activity     chip.Activity
+	Layers       []LayerStat
+}
+
+// fixed per-layer costs: kernel launch/sequencing plus a per-core
+// synchronization term — the scheduling overheads that penalize many-core
+// chips at small batch.
+const (
+	launchCycles   = 1800.0
+	syncPerCore    = 40.0
+	multicastShare = 0.8 // mesh multicast saves a fifth of unicast traffic
+	// dispatchPerTile is the scalar-unit sequencing cost (tile descriptor,
+	// address calculation) per weight tile, serialized per core.
+	dispatchPerTile = 8.0
+	// nocExposed is the fraction of inter-core transfer time that cannot
+	// hide behind compute even with double buffering (the first tile of
+	// every dependency chain).
+	nocExposed = 0.5
+	// haloPerCore is the fractional recompute/transfer overhead each
+	// additional core adds when the spatial dimension is split (halo rows
+	// of the convolution window).
+	haloPerCore = 0.08
+)
+
+// Simulate runs one batch of g through c.
+func Simulate(c *chip.Chip, g *graph.Graph, batch int, opt Options) (*Result, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("perfsim: batch must be positive, got %d", batch)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	core := c.Core
+	if core.TU == nil {
+		return nil, fmt.Errorf("perfsim: chip %q has no tensor units (RT chips use the sparse roofline model)", c.Cfg.Name)
+	}
+
+	x := float64(core.Cfg.TUCols)
+	tuPerCore := float64(core.Cfg.NumTUs)
+	cores := float64(c.Tiles())
+	totalTUs := tuPerCore * cores
+	lanes := float64(core.Cfg.VULanes) * cores
+	mulBytes := float64(core.Cfg.TUDataType.Bits()) / 8
+	accBytes := 4.0
+
+	// Bandwidths in bytes per cycle.
+	nocBPC := c.Cfg.NoCBisectionGBps * 1e9 / c.ClockHz()
+	if nocBPC <= 0 || cores == 1 {
+		nocBPC = math.Inf(1) // single core: no NoC crossing
+	}
+	hbmBPC := offChipGBps(c) * 1e9 / c.ClockHz()
+	if hbmBPC <= 0 {
+		hbmBPC = math.Inf(1)
+	}
+	memBytes := float64(0)
+	if core.Mem != nil {
+		memBytes = float64(core.Mem.CapacityBytes()) * cores
+	}
+	weightsResident := float64(g.Params()) <= memBytes*0.85
+
+	res := &Result{Batch: batch}
+	act := chip.Activity{ClockGateIdleFrac: 0.5}
+	var totalMACs, totalVecOps float64
+	// streamMACs counts cell-cycles actually clocked through the arrays,
+	// including padded tiles and fill/drain bubbles: the energy-relevant
+	// quantity (a 64x64 array computing a 10-row stripe still clocks all
+	// 4096 cells). This is the mechanism behind the paper's observation
+	// that runtime energy efficiency favors smaller arrays (§III-B.2).
+	var streamMACs float64
+	var memRead, memWrite, nocBytes, hbmBytes float64
+
+	for _, l := range g.Layers {
+		st := LayerStat{Name: l.Name, Kind: l.Kind}
+		macs := float64(l.MACs()) * float64(batch)
+		vops := float64(l.VectorOps()) * float64(batch)
+		totalMACs += macs
+
+		if l.Kind.IsMatrixOp() {
+			m0, k0, n0 := l.GEMM()
+			mF, kF := float64(m0)*float64(batch), float64(k0)
+			nF := float64(n0)
+
+			// Space-to-Depth: fold spatial into depth when K underfills
+			// the array (early convs: K = 27..147 vs X up to 256).
+			if opt.SpaceToDepth && l.Kind == graph.Conv2D && kF < x/2 && mF >= 4 {
+				fold := math.Min(4, math.Floor(x/kF))
+				if fold >= 2 {
+					kF *= fold
+					mF = math.Ceil(mF / fold)
+				}
+			}
+
+			kt := math.Ceil(kF / x)
+			nt := math.Ceil(nF / x)
+			tiles := kt * nt
+			// Weight double buffering overlaps most of the tile switch, but
+			// skewed refill still exposes ~half an array depth per round;
+			// without it every round pays the full load + fill bubble.
+			bubble := 3 * x // fill + drain + weight load, per round
+			oneTime := 0.0
+			if opt.DoubleBuffer {
+				bubble = 2 * x // fill + drain; only the weight load overlaps
+				oneTime = 0
+			}
+
+			// The scheduler evaluates three mappings and picks the fastest,
+			// mirroring TF-Sim's "advanced runtime graph scheduling". Fill
+			// and drain cost one array-depth bubble per tile round (draining
+			// tile i overlaps filling tile i+1).
+			type mapping struct {
+				name      string
+				compute   float64
+				noc       float64 // bisection-crossing transfer cycles
+				vu        float64
+				nocEnergy float64 // bytes, replication included
+				cores     float64
+				tus       float64
+			}
+			var cands []mapping
+
+			// ---- A: N-split across cores (no inter-core psum merging) ----
+			// Each core owns a slice of the output channels; partial sums
+			// accumulate locally (intra-core K-splits share the core's
+			// accumulators through the VReg). Inter-core parallelism is
+			// therefore capped by the N-tile count: with few output-channel
+			// tiles, part of the chip idles — the reason small batches
+			// cannot feed many brawny cores.
+			{
+				coresA := math.Min(cores, nt)
+				ntc := math.Ceil(nt / coresA)
+				roundsA := math.Ceil(ntc * kt / tuPerCore)
+				cA := roundsA*(mF+bubble) + oneTime
+				// Intra-core K-splits accumulate in the core's accumulator
+				// buffer (the TPU pattern): no VU cost.
+				vuA := 0.0
+				bcastA := 0.0
+				if coresA > 1 {
+					bcastA = mF * kF * mulBytes // activations, one crossing
+				}
+				cands = append(cands, mapping{
+					name: "n-split", compute: cA, noc: bcastA / nocBPC, vu: vuA,
+					nocEnergy: mF * kF * mulBytes * (coresA - 1) * multicastShare,
+					cores:     coresA,
+					tus:       math.Min(coresA*tuPerCore, tiles),
+				})
+			}
+
+			// ---- B: K+N split across cores (inter-core psum merging) ------
+			{
+				var cB float64
+				if tiles >= totalTUs {
+					cB = math.Ceil(tiles/totalTUs)*(mF+bubble) + oneTime
+				} else {
+					share := math.Floor(totalTUs / tiles)
+					cB = math.Ceil(mF/share) + bubble + oneTime
+				}
+				kSplit := math.Min(kt, math.Max(1, math.Floor(totalTUs/nt)))
+				coresK := math.Ceil(kSplit / tuPerCore)
+				// Every K-split pair produces a full M x N partial-sum tensor
+				// that must be summed; the cross-core fraction rides the NoC.
+				mergeB := math.Max(0, kSplit-1) * mF * nF * accBytes *
+					(coresK - 1) / math.Max(coresK, 1)
+				bcastB := 0.0
+				if math.Min(cores, tiles) > 1 {
+					bcastB = mF * kF * mulBytes
+				}
+				vuB := math.Max(0, kSplit-1) * mF * nF / lanes
+				cands = append(cands, mapping{
+					name: "kn-split", compute: cB, noc: (mergeB + bcastB) / nocBPC, vu: vuB,
+					nocEnergy: mergeB + mF*kF*mulBytes*(math.Min(cores, tiles)-1)*multicastShare,
+					cores:     math.Min(cores, tiles),
+					tus:       math.Min(totalTUs, tiles*math.Max(1, math.Floor(totalTUs/tiles))),
+				})
+			}
+
+			// ---- C: M-split across cores (data/spatial parallel) -----------
+			// Splitting the spatial/batch dimension across cores needs halo
+			// rows around every slice (Space-to-Batch keeps the halos small
+			// but not free); the scheduler searches the core count that
+			// balances parallelism against halo recompute.
+			{
+				// Without Space-to-Batch only whole frames distribute;
+				// with it, spatial slices parallelize too (at halo cost).
+				coresMax := math.Min(cores, float64(batch))
+				if opt.SpaceToBatch {
+					coresMax = math.Min(cores, math.Max(coresMax, math.Floor(mF/32)))
+				}
+				// Distinct frames split for free; only splits beyond the
+				// batch dimension cut spatially and pay halos.
+				halo := func(n float64) float64 {
+					spatial := math.Max(1, n/float64(batch))
+					return 1 + haloPerCore*(spatial-1)
+				}
+				coresM := 1.0
+				bestC := math.Inf(1)
+				for n := 1.0; n <= coresMax; n *= 2 {
+					if t := math.Ceil(mF/n) * halo(n); t < bestC {
+						bestC, coresM = t, n
+					}
+				}
+				mc := math.Ceil(mF/coresM) * halo(coresM)
+				roundsC := math.Ceil(tiles / tuPerCore)
+				cC := roundsC*(mc+bubble) + oneTime
+				wb := 0.0
+				if coresM > 1 {
+					wb = kF * nF * mulBytes // weights replicate, one crossing
+				}
+				vuC := 0.0 // intra-core accumulation in the accumulator buffer
+				cands = append(cands, mapping{
+					name: "m-split", compute: cC, noc: wb / nocBPC, vu: vuC,
+					nocEnergy: kF * nF * mulBytes * (coresM - 1) * multicastShare,
+					cores:     coresM,
+					tus:       math.Min(tuPerCore, tiles) * coresM,
+				})
+			}
+
+			best := cands[0]
+			cost := func(m mapping) float64 {
+				return math.Max(m.compute, m.noc) + m.noc*nocExposed + m.vu*0.25
+			}
+			for _, m := range cands[1:] {
+				if cost(m) < cost(best) {
+					best = m
+				}
+			}
+			st.Mapping = best.name
+			compute, noc, vu := best.compute, best.noc, best.vu
+			merge, bcast := 0.0, best.nocEnergy
+			coresUsed := best.cores
+			streamMACs += compute * best.tus * x * x
+
+			// Off-chip: stream weights when not resident; spill activations
+			// exceeding the on-chip memory.
+			var hbm float64
+			layerHBM := 0.0
+			if !weightsResident {
+				layerHBM += kF * nF * mulBytes
+			}
+			actBytes := (mF*kF + mF*nF) * mulBytes
+			if actBytes > memBytes*0.5 {
+				layerHBM += actBytes - memBytes*0.5
+			}
+			hbm = layerHBM / hbmBPC
+
+			// Bias + activation epilogues ride the per-TU output pipeline
+			// (the TPU-style activation path is sized to the array drain
+			// rate); only a sliver of cleanup work reaches the shared VU.
+			vu += vops / lanes * 0.05
+
+			overhead := launchCycles + syncPerCore*coresUsed +
+				dispatchPerTile*tiles/math.Max(coresUsed, 1) +
+				c.NoC.AvgHops()*c.NoC.HopLatencyCycles()
+			var cyc float64
+			if opt.DoubleBuffer {
+				cyc = math.Max(compute, math.Max(noc, hbm)) + noc*nocExposed + vu*0.25 + overhead
+			} else {
+				cyc = compute + noc + hbm + vu + overhead
+			}
+			st.ComputeCycles, st.NoCCycles, st.HBMCycles, st.VUCycles = compute, noc, hbm, vu
+			st.Overhead = overhead
+			st.Cycles = cyc
+			st.MACs = macs
+
+			// Traffic accounting for the runtime power model.
+			st.MemReadBytes = mF*kF*mulBytes*math.Min(nt, 4) + kF*nF*mulBytes
+			st.MemWriteBytes = mF * nF * mulBytes
+			st.NoCBytes = merge + bcast
+			st.HBMBytes = layerHBM
+			st.StreamMACs = compute * best.tus * x * x
+			memRead += st.MemReadBytes
+			memWrite += st.MemWriteBytes
+			nocBytes += st.NoCBytes
+			hbmBytes += st.HBMBytes
+		} else if l.Kind == graph.DepthwiseConv2D || l.Kind == graph.Pool || l.Kind == graph.GlobalPool {
+			// Depthwise convolutions pack block-diagonally onto the tensor
+			// units: each channel is an independent (M x k^2) x (k^2 x 1)
+			// GEMM, so only floor(X/k^2) diagonal blocks of k^2 cells are
+			// active per pass — array efficiency ~ 1/X. Smaller arrays
+			// digest depthwise layers far better (part of why wimpy designs
+			// score higher utilization on NasNet); it still beats the
+			// vector unit by an order of magnitude.
+			// Pooling layers ride the same path: an average pool is a
+			// depthwise convolution with constant weights.
+			st.Mapping = "tu-depthwise"
+			kk := math.Max(1, float64(l.KH*l.KW))
+			if l.Kind == graph.GlobalPool {
+				kk = math.Min(float64(l.InH*l.InW), 64)
+			}
+			work := macs
+			if work == 0 {
+				work = vops
+			}
+			compute := work / (totalTUs * x * x / kk)
+			overhead := launchCycles + syncPerCore*cores*0.5
+			st.ComputeCycles = compute
+			st.Overhead = overhead
+			st.Cycles = compute + overhead
+			st.MACs = macs
+			// Imperfect row gating clocks ~2x the active cells.
+			st.StreamMACs = compute * totalTUs * math.Min(x*x*2/kk, x*x)
+			streamMACs += st.StreamMACs
+			st.MemReadBytes = float64(l.InBytes()) * float64(batch)
+			st.MemWriteBytes = float64(l.OutBytes()) * float64(batch)
+			memRead += st.MemReadBytes
+			memWrite += st.MemWriteBytes
+		} else {
+			// Vector-mapped layer (pool, eltwise, softmax, ...). XLA-style
+			// fusion folds most elementwise work into the producing matrix
+			// op's output stream, so only ~a quarter of the lane time is
+			// exposed, and fused ops skip the full launch cost.
+			st.Mapping = "vector"
+			vu := vops / (lanes * 2 * 0.5) // dual-issue lanes, stride/halo efficiency
+			overhead := launchCycles*0.3 + syncPerCore*cores*0.25
+			st.VUCycles = vu
+			st.Overhead = overhead
+			st.Cycles = vu*0.25 + overhead
+			st.MemReadBytes = float64(l.InBytes()) * float64(batch)
+			st.MemWriteBytes = float64(l.OutBytes()) * float64(batch)
+			memRead += st.MemReadBytes
+			memWrite += st.MemWriteBytes
+		}
+		totalVecOps += vops
+		res.Cycles += st.Cycles
+		res.Layers = append(res.Layers, st)
+	}
+
+	res.TimeSec = res.Cycles / c.ClockHz()
+	res.LatencySec = res.TimeSec
+	res.FPS = float64(batch) / res.TimeSec
+	ops := 2 * totalMACs
+	res.AchievedTOPS = ops / res.TimeSec / 1e12
+	res.Utilization = res.AchievedTOPS / c.PeakTOPS()
+
+	// Padded/bubble cell-cycles carry zeros: they burn clock and control
+	// but toggle little datapath (~30% of a live MAC).
+	effectiveMACs := totalMACs + 0.3*math.Max(0, streamMACs-totalMACs)
+	act.TUMACsPerSec = effectiveMACs / res.TimeSec
+	act.VUOpsPerSec = totalVecOps / res.TimeSec
+	act.SUInstrPerSec = cores * c.ClockHz() * 0.10
+	act.MemReadBytesPerSec = memRead / res.TimeSec
+	act.MemWriteBytesPerSec = memWrite / res.TimeSec
+	act.NoCBytesPerSec = nocBytes / res.TimeSec
+	act.OffChipBytesPerSec = hbmBytes / res.TimeSec
+	res.Activity = act
+	return res, nil
+}
+
+func offChipGBps(c *chip.Chip) float64 {
+	var total float64
+	for _, p := range c.Periph {
+		switch p.Cfg.Kind.String() {
+		case "hbm", "ddr":
+			total += p.Cfg.GBps
+		}
+	}
+	return total
+}
+
+// LatencyLimitedBatch finds the largest power-of-two batch whose batch
+// latency stays within the bound (the paper's "latency limited batch size",
+// §III-B.2, with a 10 ms production SLO). It returns the batch and its
+// simulation result; batch 1 is returned even if it misses the bound.
+func LatencyLimitedBatch(c *chip.Chip, g *graph.Graph, latencyBound float64, opt Options) (int, *Result, error) {
+	best, bestRes, err := 1, (*Result)(nil), error(nil)
+	r, err := Simulate(c, g, 1, opt)
+	if err != nil {
+		return 0, nil, err
+	}
+	bestRes = r
+	for b := 2; b <= 512; b *= 2 {
+		r, err := Simulate(c, g, b, opt)
+		if err != nil {
+			return 0, nil, err
+		}
+		if r.LatencySec > latencyBound {
+			break
+		}
+		best, bestRes = b, r
+	}
+	return best, bestRes, err
+}

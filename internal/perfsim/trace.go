@@ -1,0 +1,40 @@
+package perfsim
+
+import "neurometer/internal/chip"
+
+// ActivityTrace converts the per-layer simulation into a runtime activity
+// trace: one interval per layer with that layer's own component rates. Fed
+// to chip.RuntimeTrace it yields the power profile of the workload — the
+// complete Fig. 1 loop (performance simulation -> runtime statistics ->
+// runtime power) at layer granularity.
+func (r *Result) ActivityTrace(c *chip.Chip) []chip.TraceSample {
+	var out []chip.TraceSample
+	cores := float64(c.Tiles())
+	for _, l := range r.Layers {
+		if l.Cycles <= 0 {
+			continue
+		}
+		dur := l.Cycles / c.ClockHz()
+		useful := l.MACs
+		stream := useful + 0.3*maxF(0, l.StreamMACs-useful)
+		act := chip.Activity{
+			TUMACsPerSec:        stream / dur,
+			VUOpsPerSec:         l.VUCycles * float64(c.Core.Cfg.VULanes) * cores / l.Cycles * c.ClockHz(),
+			SUInstrPerSec:       cores * c.ClockHz() * 0.10,
+			MemReadBytesPerSec:  l.MemReadBytes / dur,
+			MemWriteBytesPerSec: l.MemWriteBytes / dur,
+			NoCBytesPerSec:      l.NoCBytes / dur,
+			OffChipBytesPerSec:  l.HBMBytes / dur,
+			ClockGateIdleFrac:   0.5,
+		}
+		out = append(out, chip.TraceSample{DurationSec: dur, Activity: act})
+	}
+	return out
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+// Package periph models the peripheral blocks of an ML accelerator chip:
+// off-chip memory ports (DDR, HBM), host interfaces (PCIe), inter-chip
+// interconnect (ICI link + NIU, as in TPU-v2), and DMA engines.
+//
+// PHY-heavy blocks are dominated by analog/mixed-signal circuitry that does
+// not scale with logic density, so the model uses empirical per-bandwidth
+// constants (area slope in mm^2 per GB/s, energy in pJ/bit) with a mild
+// node-dependent factor, calibrated against the TPU-v1/v2 interface shares.
+package periph
+
+import (
+	"fmt"
+	"math"
+
+	"neurometer/internal/pat"
+	"neurometer/internal/tech"
+)
+
+// Kind enumerates the peripheral families.
+type Kind int
+
+const (
+	DDRPort Kind = iota
+	HBMPort
+	PCIePort
+	ICILink // inter-chip interconnect link + network interface unit
+	DMAEngine
+	// LPDDRPort is a mobile-class low-power DRAM interface: far smaller
+	// and lower-energy than the server DDR PHY, at lower peak bandwidth.
+	LPDDRPort
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DDRPort:
+		return "ddr"
+	case HBMPort:
+		return "hbm"
+	case PCIePort:
+		return "pcie"
+	case ICILink:
+		return "ici"
+	case DMAEngine:
+		return "dma"
+	case LPDDRPort:
+		return "lpddr"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config describes one peripheral instance.
+type Config struct {
+	Node tech.Node
+	Kind Kind
+	// GBps is the peak bandwidth (per direction for links).
+	GBps float64
+}
+
+// params are the empirical constants at the 28nm anchor: fixed area,
+// area slope per GB/s, energy per bit, idle power fraction.
+type params struct {
+	baseMM2   float64
+	mm2PerGBs float64
+	pjPerBit  float64
+	idleFrac  float64 // static+bias power as a fraction of peak dynamic
+}
+
+var kindParams = map[Kind]params{
+	// DDR3/4 PHY + controller: wide parallel interface, high pJ/bit.
+	DDRPort: {baseMM2: 4.0, mm2PerGBs: 0.42, pjPerBit: 18, idleFrac: 0.25},
+	// HBM PHY + controller: very wide, short-reach, lower pJ/bit.
+	HBMPort: {baseMM2: 6.0, mm2PerGBs: 0.052, pjPerBit: 6.5, idleFrac: 0.20},
+	// PCIe Gen3-class serdes.
+	PCIePort: {baseMM2: 2.5, mm2PerGBs: 0.45, pjPerBit: 12, idleFrac: 0.30},
+	// Inter-chip serdes link + NIU packet processing.
+	ICILink: {baseMM2: 3.0, mm2PerGBs: 0.30, pjPerBit: 11, idleFrac: 0.30},
+	// DMA engines are plain logic + buffering.
+	DMAEngine: {baseMM2: 0.25, mm2PerGBs: 0.004, pjPerBit: 0.8, idleFrac: 0.10},
+	// Mobile LPDDR4-class interface.
+	LPDDRPort: {baseMM2: 1.0, mm2PerGBs: 0.10, pjPerBit: 9, idleFrac: 0.08},
+}
+
+// analogScale returns the area scale factor relative to the 28nm anchor:
+// analog blocks shrink far more slowly than logic (~sqrt of the density
+// gain).
+func analogScale(n tech.Node) float64 {
+	anchor := tech.MustByNode(28)
+	logic := anchor.GateDensityPerMM2 / n.GateDensityPerMM2
+	return math.Sqrt(logic)
+}
+
+// Port is an evaluated peripheral.
+type Port struct {
+	Cfg     Config
+	areaUM2 float64
+	// peakW is the power when transferring at full bandwidth;
+	// idleW the standing power.
+	peakW float64
+	idleW float64
+}
+
+// Build evaluates a peripheral instance.
+func Build(cfg Config) (*Port, error) {
+	p, ok := kindParams[cfg.Kind]
+	if !ok {
+		return nil, fmt.Errorf("periph: unknown kind %v", cfg.Kind)
+	}
+	if cfg.GBps < 0 {
+		return nil, fmt.Errorf("periph: negative bandwidth %g", cfg.GBps)
+	}
+	scale := analogScale(cfg.Node)
+	if cfg.Kind == DMAEngine {
+		// DMA is digital logic: scale with full density.
+		scale = tech.MustByNode(28).GateDensityPerMM2 / cfg.Node.GateDensityPerMM2
+	}
+	areaMM2 := (p.baseMM2 + p.mm2PerGBs*cfg.GBps) * scale
+	peakW := p.pjPerBit * 1e-12 * cfg.GBps * 1e9 * 8
+	// Energy scales weakly with voltage (analog swings are fixed); apply
+	// half the voltage-squared scaling.
+	vr := cfg.Node.Vdd / cfg.Node.VddNominal
+	peakW *= (1 + vr*vr) / 2
+	return &Port{
+		Cfg:     cfg,
+		areaUM2: areaMM2 * 1e6,
+		peakW:   peakW,
+		idleW:   peakW * p.idleFrac,
+	}, nil
+}
+
+// AreaUM2 returns the port area.
+func (p *Port) AreaUM2() float64 { return p.areaUM2 }
+
+// PowerW returns the power at the given bandwidth utilization in [0,1]:
+// idle power plus utilization-proportional transfer power.
+func (p *Port) PowerW(utilization float64) float64 {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	return p.idleW + (p.peakW-p.idleW)*utilization
+}
+
+// PeakW returns the full-bandwidth power; IdleW the standing power.
+func (p *Port) PeakW() float64 { return p.peakW }
+func (p *Port) IdleW() float64 { return p.idleW }
+
+// Result summarizes the port; DynPJ is per byte transferred and LeakUW is
+// the idle power.
+func (p *Port) Result() pat.Result {
+	var pjPerByte float64
+	if p.Cfg.GBps > 0 {
+		pjPerByte = (p.peakW - p.idleW) / (p.Cfg.GBps * 1e9) * 1e12
+	}
+	return pat.Result{
+		AreaUM2: p.areaUM2,
+		DynPJ:   pjPerByte,
+		LeakUW:  p.idleW * 1e6,
+		DelayPS: 0,
+	}
+}
+
+func (p *Port) String() string {
+	return fmt.Sprintf("%s[%.0fGB/s area=%.2fmm2 peak=%.2fW]",
+		p.Cfg.Kind, p.Cfg.GBps, p.areaUM2/1e6, p.peakW)
+}

@@ -1,0 +1,198 @@
+// Package reducetree models NeuroMeter's Reduction Tree (RT): an N-input
+// 1-D MAC array cascaded into a log2(N)-layer adder tree, with optional
+// pipeline DFFs between layers to meet timing (§II-A). RTs are the compute
+// fabric of sparsity-oriented accelerators (SIGMA, Cambricon-X, MAERI)
+// because their workload mapping is more flexible than a 2-D array's.
+package reducetree
+
+import (
+	"fmt"
+	"math"
+
+	"neurometer/internal/circuit"
+	"neurometer/internal/maclib"
+	"neurometer/internal/pat"
+	"neurometer/internal/tech"
+)
+
+// Config describes a reduction tree.
+type Config struct {
+	Node tech.Node
+	// Inputs is N, the width of the 1-D MAC array feeding the tree.
+	// It must be a power of two.
+	Inputs int
+	// MulType/AccType as in the tensor unit; AccType zero value (int8)
+	// means "derive from MulType".
+	MulType maclib.DataType
+	AccType maclib.DataType
+	// AdderFanIn is the fan-in of each tree adder (default 2, the paper's
+	// default "array of 2-by-1 adders"; users can customize).
+	AdderFanIn int
+	// CyclePS is the target clock period; pipeline DFF layers are inserted
+	// between adder levels whenever the accumulated combinational delay
+	// would exceed it.
+	CyclePS float64
+}
+
+// clockOverhead matches the tensorunit convention for sequential energy.
+const clockOverhead = 1.35
+
+// fabricOverhead is the P&R overhead of the tree fabric; trees place less
+// densely than 2-D arrays (irregular wiring) but have no stationary
+// operand registers.
+const fabricOverhead = 1.6
+
+// Unit is an evaluated reduction tree.
+type Unit struct {
+	Cfg Config
+
+	macArray pat.Result // the N-input MAC stage (total)
+	tree     pat.Result // all adder layers incl. pipeline DFFs (total)
+	pipeDFFs int        // pipeline registers inserted (bit-groups)
+	levels   int
+	perMACPJ float64
+	areaUM2  float64
+	leakUW   float64
+	critPS   float64
+}
+
+// Build evaluates a reduction tree.
+func Build(cfg Config) (*Unit, error) {
+	if cfg.Inputs < 2 {
+		return nil, fmt.Errorf("reducetree: need at least 2 inputs, got %d", cfg.Inputs)
+	}
+	if cfg.Inputs&(cfg.Inputs-1) != 0 {
+		return nil, fmt.Errorf("reducetree: inputs must be a power of two, got %d", cfg.Inputs)
+	}
+	if cfg.CyclePS <= 0 {
+		return nil, fmt.Errorf("reducetree: CyclePS must be positive")
+	}
+	fanIn := cfg.AdderFanIn
+	if fanIn == 0 {
+		fanIn = 2
+	}
+	if fanIn < 2 {
+		return nil, fmt.Errorf("reducetree: adder fan-in must be >= 2, got %d", fanIn)
+	}
+	acc := cfg.AccType
+	if acc == maclib.Int8 {
+		acc = cfg.MulType.AccumType()
+	}
+	n := cfg.Node
+	u := &Unit{Cfg: cfg}
+	u.Cfg.AccType = acc
+	u.Cfg.AdderFanIn = fanIn
+
+	// ---- 1-D MAC (multiplier) array ---------------------------------------
+	mult := maclib.Mult(n, cfg.MulType)
+	inReg := circuit.Register{Node: n, Bits: 2 * cfg.MulType.Bits()}.Eval()
+	inReg.DynPJ *= clockOverhead
+	lane := mult.Add(inReg)
+	u.macArray = lane.Scale(float64(cfg.Inputs))
+
+	// ---- Adder tree ---------------------------------------------------------
+	levels := int(math.Ceil(math.Log(float64(cfg.Inputs)) / math.Log(float64(fanIn))))
+	u.levels = levels
+	add := maclib.Add(n, acc)
+	ff := circuit.DFF{Node: n}.Eval()
+	ffBits := acc.Bits()
+
+	var treeArea, treeDynPerReduce, treeLeak float64
+	accum := lane.DelayPS // delay accumulated since the last pipeline cut
+	crit := accum
+	adders := 0
+	for lvl := 0; lvl < levels; lvl++ {
+		nodes := cfg.Inputs / pow(fanIn, lvl+1)
+		if nodes < 1 {
+			nodes = 1
+		}
+		adders += nodes
+		levelAdders := float64(nodes) * float64(fanIn-1) // fan-in k = k-1 two-input adds
+		treeArea += add.AreaUM2 * levelAdders
+		treeDynPerReduce += add.DynPJ * levelAdders
+		treeLeak += add.LeakUW * levelAdders
+		levelDelay := add.DelayPS * float64(fanIn-1)
+		if accum+levelDelay > cfg.CyclePS*0.9 {
+			// Insert the optional pipeline DFF layer before this level
+			// (§II-A part 3) so no stage exceeds the cycle.
+			u.pipeDFFs += nodes * fanIn
+			nff := float64(nodes * fanIn * ffBits)
+			treeArea += ff.AreaUM2 * nff
+			treeDynPerReduce += ff.DynPJ * clockOverhead * nff
+			treeLeak += ff.LeakUW * nff
+			if accum > crit {
+				crit = accum
+			}
+			accum = ff.DelayPS
+		}
+		accum += levelDelay
+	}
+	if accum > crit {
+		crit = accum
+	}
+	u.tree = pat.Result{AreaUM2: treeArea, DynPJ: treeDynPerReduce, LeakUW: treeLeak}
+
+	// Output accumulator register.
+	outReg := circuit.Register{Node: n, Bits: ffBits}.Eval()
+	outReg.DynPJ *= clockOverhead
+	u.tree = u.tree.Add(outReg)
+
+	u.areaUM2 = (u.macArray.AreaUM2 + u.tree.AreaUM2) * fabricOverhead
+	u.leakUW = u.macArray.LeakUW + u.tree.LeakUW
+	// One "reduce" consumes Inputs MACs worth of work: N multiplies plus
+	// N-1 adds. Report energy per MAC-equivalent op for comparability with
+	// the TU.
+	totalPerReduce := u.macArray.DynPJ + u.tree.DynPJ
+	u.perMACPJ = totalPerReduce / float64(cfg.Inputs)
+	u.critPS = crit
+	return u, nil
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// AreaUM2 returns total area.
+func (u *Unit) AreaUM2() float64 { return u.areaUM2 }
+
+// PerMACPJ returns dynamic energy per MAC-equivalent operation.
+func (u *Unit) PerMACPJ() float64 { return u.perMACPJ }
+
+// LeakUW returns total leakage.
+func (u *Unit) LeakUW() float64 { return u.leakUW }
+
+// CritPathPS returns the slowest pipeline stage delay.
+func (u *Unit) CritPathPS() float64 { return u.critPS }
+
+// MeetsTiming reports whether the slowest stage fits the target cycle.
+func (u *Unit) MeetsTiming() bool { return u.critPS <= u.Cfg.CyclePS }
+
+// Levels returns the adder-tree depth; PipelineDFFLayers the number of
+// inserted pipeline cut points (in adder nodes).
+func (u *Unit) Levels() int { return u.levels }
+
+// PipelineDFFs returns the number of tree nodes that received a pipeline
+// register.
+func (u *Unit) PipelineDFFs() int { return u.pipeDFFs }
+
+// MACs returns the number of multiplier lanes.
+func (u *Unit) MACs() int { return u.Cfg.Inputs }
+
+// PeakOpsPerCycle returns 2*Inputs ops per cycle (N multiplies + N-1 adds,
+// rounded to the same 2-ops-per-MAC convention as the TU).
+func (u *Unit) PeakOpsPerCycle() float64 { return 2 * float64(u.Cfg.Inputs) }
+
+// Result summarizes the unit; DynPJ is per MAC-equivalent.
+func (u *Unit) Result() pat.Result {
+	return pat.Result{AreaUM2: u.areaUM2, DynPJ: u.perMACPJ, LeakUW: u.leakUW, DelayPS: u.critPS}
+}
+
+func (u *Unit) String() string {
+	return fmt.Sprintf("rt[%d:1 %s/%s levels=%d pipeDFFs=%d area=%.3fmm2 %.3fpJ/MAC]",
+		u.Cfg.Inputs, u.Cfg.MulType, u.Cfg.AccType, u.levels, u.pipeDFFs,
+		u.areaUM2/1e6, u.perMACPJ)
+}

@@ -1,0 +1,164 @@
+package reducetree
+
+import (
+	"strings"
+	"testing"
+
+	"neurometer/internal/maclib"
+	"neurometer/internal/tech"
+)
+
+const cycle700 = 1e12 / 700e6
+
+func cfg(inputs int) Config {
+	return Config{
+		Node:    tech.MustByNode(28),
+		Inputs:  inputs,
+		MulType: maclib.Int8,
+		CyclePS: cycle700,
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(cfg(1)); err == nil {
+		t.Errorf("1 input must fail")
+	}
+	if _, err := Build(cfg(48)); err == nil {
+		t.Errorf("non-power-of-two must fail")
+	}
+	c := cfg(64)
+	c.CyclePS = 0
+	if _, err := Build(c); err == nil {
+		t.Errorf("zero cycle must fail")
+	}
+	c = cfg(64)
+	c.AdderFanIn = 1
+	if _, err := Build(c); err == nil {
+		t.Errorf("fan-in 1 must fail")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	for _, tc := range []struct {
+		inputs, fanIn, levels int
+	}{
+		{64, 2, 6}, {1024, 2, 10}, {64, 4, 3}, {16, 2, 4},
+	} {
+		c := cfg(tc.inputs)
+		c.AdderFanIn = tc.fanIn
+		u, err := Build(c)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if u.Levels() != tc.levels {
+			t.Errorf("inputs=%d fanIn=%d: levels=%d, want %d", tc.inputs, tc.fanIn, u.Levels(), tc.levels)
+		}
+	}
+}
+
+func TestAreaScalesLinearly(t *testing.T) {
+	small, err := Build(cfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(cfg(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := big.AreaUM2() / small.AreaUM2()
+	if r < 12 || r > 20 {
+		t.Errorf("16x inputs should be ~16x the area, got %.1fx", r)
+	}
+}
+
+func TestRTPerMACCheaperThanTU(t *testing.T) {
+	// The RT has no stationary-operand registers per MAC lane, so its
+	// per-MAC energy should undercut a same-OPS systolic TU. This is the
+	// premise behind the paper's RT-vs-TU sparsity study baseline ("the
+	// same OPS per compute unit as the corresponding systolic arrays").
+	u, err := Build(cfg(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.PerMACPJ() <= 0 || u.PerMACPJ() > 1.0 {
+		t.Errorf("RT per-MAC energy out of band: %g pJ", u.PerMACPJ())
+	}
+}
+
+func TestPipelineInsertionAtFastClock(t *testing.T) {
+	// A 1024-input tree cannot traverse 10 adder levels in a 2GHz cycle;
+	// the builder must cut it with pipeline DFFs and still meet timing.
+	c := cfg(1024)
+	c.CyclePS = 500 // 2 GHz
+	u, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.PipelineDFFs() == 0 {
+		t.Errorf("2GHz 1024-input tree must pipeline")
+	}
+	if !u.MeetsTiming() {
+		t.Errorf("pipelined tree must meet timing: crit=%.0fps cycle=%.0fps", u.CritPathPS(), c.CyclePS)
+	}
+	// A slow clock needs no pipelining for a small tree.
+	slow := cfg(16)
+	slow.CyclePS = 10000
+	u2, err := Build(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.PipelineDFFs() != 0 {
+		t.Errorf("10ns 16-input tree should not pipeline, got %d DFF nodes", u2.PipelineDFFs())
+	}
+}
+
+func TestPipeliningCostsAreaButMeetsTiming(t *testing.T) {
+	slow := cfg(256)
+	slow.CyclePS = 20000
+	fast := cfg(256)
+	fast.CyclePS = 700
+	us, err := Build(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := Build(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uf.AreaUM2() <= us.AreaUM2() {
+		t.Errorf("pipelined tree must cost more area: %g vs %g", uf.AreaUM2(), us.AreaUM2())
+	}
+}
+
+func TestCustomAdderFanIn(t *testing.T) {
+	c2 := cfg(256)
+	c4 := cfg(256)
+	c4.AdderFanIn = 4
+	u2, err := Build(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u4, err := Build(c4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u4.Levels() >= u2.Levels() {
+		t.Errorf("fan-in 4 must be shallower: %d vs %d", u4.Levels(), u2.Levels())
+	}
+}
+
+func TestPeakOpsAndString(t *testing.T) {
+	u, err := Build(cfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.MACs() != 64 || u.PeakOpsPerCycle() != 128 {
+		t.Errorf("ops accounting: MACs=%d peak=%g", u.MACs(), u.PeakOpsPerCycle())
+	}
+	if !strings.Contains(u.String(), "64:1") {
+		t.Errorf("String: %q", u.String())
+	}
+	if !u.Result().Valid() {
+		t.Errorf("invalid result")
+	}
+}

@@ -1,0 +1,184 @@
+// Package refchips holds the three validation targets of the paper's §II-C
+// — TPU-v1, TPU-v2 and Eyeriss — as NeuroMeter configurations plus the
+// published numbers they are compared against (Figs. 3-5). The Validate
+// functions produce the same chip-level and component-share comparisons the
+// paper's ring charts show.
+package refchips
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"neurometer/internal/chip"
+	"neurometer/internal/maclib"
+	"neurometer/internal/periph"
+	"neurometer/internal/tensorunit"
+)
+
+// Published reference values (from the cited TPU-v1 [30], TPU-v2 [29] and
+// Eyeriss [17] publications, as quoted in the paper).
+const (
+	TPUv1PublishedAreaMM2 = 331 // "< 331 mm^2"
+	TPUv1PublishedTDPW    = 75
+	TPUv2PublishedAreaMM2 = 611 // "< 611 mm^2"
+	TPUv2PublishedTDPW    = 280
+	// Eyeriss core area (4.0 x 3.5 mm logic fabric at 65 nm, excluding pads).
+	EyerissPublishedCoreMM2 = 12.25
+	// Eyeriss measured runtime power for AlexNet layers (mW @1.0V, 200MHz).
+	EyerissConv1PowerW = 0.332
+	EyerissConv5PowerW = 0.236
+)
+
+// TPUv1 returns the TPU-v1 configuration of Fig. 3: a single core with a
+// 256x256 Int8 systolic array at 28nm/0.86V/700MHz, 24 MiB unified buffer
+// (dual bank, 1R1W), 4 MiB accumulator buffer, weight FIFO, DDR3 and PCIe
+// Gen3 x16 interfaces. The published ~21% unknown area plus the unmodeled
+// host interface/control/misc (~5%) enter as white space.
+func TPUv1() chip.Config {
+	return chip.Config{
+		Name: "tpu-v1", TechNM: 28, Vdd: 0.86, ClockHz: 700e6,
+		Tx: 1, Ty: 1,
+		Core: chip.CoreConfig{
+			NumTUs: 1, TURows: 256, TUCols: 256, TUDataType: maclib.Int8,
+			VULanes: 256, // the activation pipeline
+			Mem: []chip.MemSegment{
+				{Name: "ub", CapacityBytes: 24 << 20, BlockBytes: 256,
+					Banks: 2, ReadPorts: 1, WritePorts: 1,
+					ReadBytesPerCycle: 256, WriteBytesPerCycle: 256},
+				{Name: "acc", CapacityBytes: 4 << 20, BlockBytes: 256, Banks: 4,
+					ReadBytesPerCycle: 1024, WriteBytesPerCycle: 1024},
+				{Name: "wfifo", CapacityBytes: 256 << 10, BlockBytes: 256,
+					ReadBytesPerCycle: 256, WriteBytesPerCycle: 64},
+			},
+		},
+		NoCTopology: chip.NoCBus, NoCBisectionGBps: 30,
+		OffChip: []chip.OffChipPort{
+			{Kind: periph.DDRPort, GBps: 34},  // 2x DDR3-2133 channels
+			{Kind: periph.PCIePort, GBps: 14}, // Gen3 x16
+		},
+		WhiteSpaceFrac: 0.26, // 21% unknown + ~5% unmodeled host-if/ctrl/misc
+	}
+}
+
+// TPUv2 returns the TPU-v2 configuration of Fig. 4: two cores, each with
+// one 128x128 MXU (BF16 multiply, FP32 accumulate) and an 8 MiB VMem slice
+// (quad-bank; NeuroMeter's optimizer finds 2R1W ports from the throughput
+// requirement), at an assumed 16nm node, 0.75V, 700MHz, with 700GB/s HBM,
+// four ICI links at 62 GB/s per direction and PCIe.
+func TPUv2() chip.Config {
+	return chip.Config{
+		Name: "tpu-v2", TechNM: 16, Vdd: 0.75, ClockHz: 700e6,
+		Tx: 1, Ty: 2,
+		Core: chip.CoreConfig{
+			NumTUs: 1, TURows: 128, TUCols: 128, TUDataType: maclib.BF16,
+			// The published TPU-v2 vector unit is 128 lanes x 8 sublanes of
+			// 32-bit FP with multipliers.
+			VULanes: 1024, VUHasMAC: true,
+			HasSU: true,
+			Mem: []chip.MemSegment{
+				{Name: "vmem", CapacityBytes: 8 << 20, BlockBytes: 256, Banks: 4,
+					// Two reads + one write of 256B per cycle per bank group:
+					// the throughput that makes the optimizer pick 2R1W.
+					ReadBytesPerCycle: 2 * 4 * 256, WriteBytesPerCycle: 1 * 4 * 256},
+			},
+		},
+		NoCTopology: chip.NoCRing, NoCBisectionGBps: 62, // ICI-fed ring
+		OffChip: []chip.OffChipPort{
+			{Kind: periph.HBMPort, GBps: 700},
+			{Kind: periph.ICILink, GBps: 62, Count: 4}, // 496 Gb/s per direction
+			{Kind: periph.PCIePort, GBps: 14},
+			{Kind: periph.DMAEngine, GBps: 700},
+		},
+		WhiteSpaceFrac: 0.32, // 21% unknown + ~11% unmodeled transpose/RPU/misc
+	}
+}
+
+// Eyeriss returns the Eyeriss-v1 configuration of Fig. 5: a single core
+// whose 12x14 PE array is a multicast (X/Y-bus) tensor unit with Int16
+// MACs and per-PE local storage (448 B spad + 72 B registers), a 108 KB
+// global buffer in 27 banks, at 65nm/1.0V/200MHz. The chip's multicast NoC
+// is the inner-TU interconnect; run-length coding, scan chain and top-level
+// control are folded into the misc logic.
+func Eyeriss() chip.Config {
+	return chip.Config{
+		Name: "eyeriss", TechNM: 65, Vdd: 1.0, ClockHz: 200e6,
+		Tx: 1, Ty: 1,
+		Core: chip.CoreConfig{
+			NumTUs: 1, TURows: 12, TUCols: 14, TUDataType: maclib.Int16,
+			TUInterconnect:   tensorunit.Multicast,
+			TUDataflow:       tensorunit.RowStationary,
+			TULocalSpadBytes: 448,
+			TULocalRegBytes:  72,
+			VULanes:          14, // ReLU / run-length-coding datapath
+			Mem: []chip.MemSegment{
+				{Name: "gb", CapacityBytes: 108 << 10, BlockBytes: 8, Banks: 27,
+					ReadPorts: 1, WritePorts: 1,
+					ReadBytesPerCycle: 32, WriteBytesPerCycle: 16},
+			},
+		},
+		NoCTopology: chip.NoCBus, NoCBisectionGBps: 1,
+		// The published 12.25 mm2 is the core fabric (pads excluded), and
+		// every core component is modeled: only a small assembly margin
+		// enters as white space.
+		WhiteSpaceFrac: 0.03,
+	}
+}
+
+// ShareRow is one component of a validation comparison: the published
+// relative share versus the modeled one (the paper's ring-chart format).
+type ShareRow struct {
+	Component    string
+	PublishedPct float64 // published share of total, in percent
+	ModeledPct   float64
+}
+
+// Report is the outcome of one chip validation.
+type Report struct {
+	Name string
+
+	PublishedAreaMM2 float64
+	ModeledAreaMM2   float64
+	PublishedTDPW    float64
+	ModeledTDPW      float64
+
+	AreaShares []ShareRow
+	// PowerRows holds runtime-power comparisons (Eyeriss only).
+	PowerRows []ShareRow
+}
+
+// AreaErr and TDPErr return the relative chip-level errors.
+func (r Report) AreaErr() float64 {
+	return math.Abs(r.ModeledAreaMM2-r.PublishedAreaMM2) / r.PublishedAreaMM2
+}
+
+func (r Report) TDPErr() float64 {
+	if r.PublishedTDPW == 0 {
+		return 0
+	}
+	return math.Abs(r.ModeledTDPW-r.PublishedTDPW) / r.PublishedTDPW
+}
+
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s validation ==\n", r.Name)
+	fmt.Fprintf(&sb, "area: modeled %.1f mm2 vs published %.0f mm2 (%.1f%% err)\n",
+		r.ModeledAreaMM2, r.PublishedAreaMM2, r.AreaErr()*100)
+	if r.PublishedTDPW > 0 {
+		fmt.Fprintf(&sb, "TDP:  modeled %.1f W vs published %.0f W (%.1f%% err)\n",
+			r.ModeledTDPW, r.PublishedTDPW, r.TDPErr()*100)
+	}
+	if len(r.AreaShares) > 0 {
+		fmt.Fprintf(&sb, "area shares (published vs modeled):\n")
+		for _, s := range r.AreaShares {
+			fmt.Fprintf(&sb, "  %-22s %5.1f%%  vs %5.1f%%\n", s.Component, s.PublishedPct, s.ModeledPct)
+		}
+	}
+	if len(r.PowerRows) > 0 {
+		fmt.Fprintf(&sb, "runtime power (published vs modeled, mW):\n")
+		for _, s := range r.PowerRows {
+			fmt.Fprintf(&sb, "  %-22s %6.1f  vs %6.1f\n", s.Component, s.PublishedPct, s.ModeledPct)
+		}
+	}
+	return sb.String()
+}

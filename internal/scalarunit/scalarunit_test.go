@@ -1,0 +1,85 @@
+package scalarunit
+
+import (
+	"testing"
+
+	"neurometer/internal/tech"
+)
+
+const cycle700 = 1e12 / 700e6
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Node: tech.MustByNode(28)}); err == nil {
+		t.Errorf("zero cycle must fail")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	u, err := Build(Config{Node: tech.MustByNode(28), CyclePS: cycle700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cfg.IFUGates != defaultIFUGates || u.Cfg.LSUGates != defaultLSUGates {
+		t.Errorf("defaults not applied: %+v", u.Cfg)
+	}
+	if u.Cfg.IntRegEntries != 32 || u.Cfg.ICacheBytes != 32<<10 {
+		t.Errorf("defaults not applied: %+v", u.Cfg)
+	}
+}
+
+func TestSimplifiedA9Scale(t *testing.T) {
+	// A simplified A9-class control core at 28nm: area well under 1 mm2
+	// (the full A9 is ~1.5mm2 at 28nm with caches; ours strips the OoO
+	// machinery and branch prediction).
+	u, err := Build(Config{Node: tech.MustByNode(28), CyclePS: cycle700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := u.AreaUM2() / 1e6
+	if a < 0.02 || a > 1.0 {
+		t.Errorf("SU area out of band: %.3f mm2", a)
+	}
+	if u.PerInstrPJ() <= 0 || u.PerInstrPJ() > 200 {
+		t.Errorf("per-instruction energy out of band: %.1f pJ", u.PerInstrPJ())
+	}
+	if !u.MeetsTiming() {
+		t.Errorf("SU must close 700MHz at 28nm: crit=%.0fps", u.CritPathPS())
+	}
+}
+
+func TestCustomGateCounts(t *testing.T) {
+	small, err := Build(Config{Node: tech.MustByNode(28), CyclePS: cycle700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(Config{
+		Node: tech.MustByNode(28), CyclePS: cycle700,
+		IFUGates: 200e3, LSUGates: 150e3, ICacheBytes: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.AreaUM2() <= small.AreaUM2() {
+		t.Errorf("bigger config must be bigger: %g vs %g", big.AreaUM2(), small.AreaUM2())
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	a28, err := Build(Config{Node: tech.MustByNode(28), CyclePS: cycle700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a65, err := Build(Config{Node: tech.MustByNode(65), CyclePS: 1e12 / 200e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a28.AreaUM2() >= a65.AreaUM2() {
+		t.Errorf("28nm SU must be smaller than 65nm")
+	}
+	if !a28.Result().Valid() || !a65.Result().Valid() {
+		t.Errorf("invalid results")
+	}
+	if a28.String() == "" {
+		t.Errorf("empty string")
+	}
+}

@@ -1,0 +1,252 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodesTabulated(t *testing.T) {
+	want := []int{7, 16, 28, 45, 65}
+	got := Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestByNodeTabulated(t *testing.T) {
+	for _, nm := range Nodes() {
+		n, err := ByNode(nm)
+		if err != nil {
+			t.Fatalf("ByNode(%d): %v", nm, err)
+		}
+		if n.Nm != nm {
+			t.Errorf("ByNode(%d).Nm = %d", nm, n.Nm)
+		}
+		if n.Vdd != n.VddNominal {
+			t.Errorf("ByNode(%d): Vdd %v != nominal %v", nm, n.Vdd, n.VddNominal)
+		}
+	}
+}
+
+func TestByNodeOutOfRange(t *testing.T) {
+	for _, nm := range []int{0, 3, 6, 66, 90, 180, -1} {
+		if _, err := ByNode(nm); err == nil {
+			t.Errorf("ByNode(%d): expected error", nm)
+		}
+	}
+}
+
+func TestInterpolatedNodeBracketsNeighbors(t *testing.T) {
+	for _, nm := range []int{40, 22, 12, 10, 32} {
+		n, err := ByNode(nm)
+		if err != nil {
+			t.Fatalf("ByNode(%d): %v", nm, err)
+		}
+		lo, hi := bracketFor(nm)
+		a, b := MustByNode(lo), MustByNode(hi)
+		checkBetween := func(name string, x, p, q float64) {
+			loV, hiV := math.Min(p, q), math.Max(p, q)
+			if x < loV-1e-9 || x > hiV+1e-9 {
+				t.Errorf("node %d %s=%g outside [%g,%g]", nm, name, x, loV, hiV)
+			}
+		}
+		checkBetween("FO4", n.FO4PS, a.FO4PS, b.FO4PS)
+		checkBetween("density", n.GateDensityPerMM2, a.GateDensityPerMM2, b.GateDensityPerMM2)
+		checkBetween("sram", n.SRAMCellUM2, a.SRAMCellUM2, b.SRAMCellUM2)
+		checkBetween("energy", n.GateEnergyFJ, a.GateEnergyFJ, b.GateEnergyFJ)
+	}
+}
+
+func bracketFor(nm int) (int, int) {
+	names := Nodes()
+	for i := 0; i+1 < len(names); i++ {
+		if names[i] <= nm && nm <= names[i+1] {
+			return names[i], names[i+1]
+		}
+	}
+	return names[0], names[len(names)-1]
+}
+
+func TestScalingMonotonicAcrossNodes(t *testing.T) {
+	names := Nodes() // ascending: 7..65
+	for i := 0; i+1 < len(names); i++ {
+		small, big := MustByNode(names[i]), MustByNode(names[i+1])
+		if small.FO4PS >= big.FO4PS {
+			t.Errorf("FO4 should shrink with node: %d=%g vs %d=%g", small.Nm, small.FO4PS, big.Nm, big.FO4PS)
+		}
+		if small.GateDensityPerMM2 <= big.GateDensityPerMM2 {
+			t.Errorf("density should grow as node shrinks")
+		}
+		if small.SRAMCellUM2 >= big.SRAMCellUM2 {
+			t.Errorf("SRAM cell should shrink with node")
+		}
+		if small.GateEnergyFJ >= big.GateEnergyFJ {
+			t.Errorf("gate energy should shrink with node")
+		}
+	}
+}
+
+func TestWithVddScaling(t *testing.T) {
+	n := MustByNode(28)
+	low := n.WithVdd(0.86)
+	if low.Vdd != 0.86 {
+		t.Fatalf("Vdd = %v", low.Vdd)
+	}
+	wantE := n.GateEnergyFJ * (0.86 / 0.90) * (0.86 / 0.90)
+	if math.Abs(low.GateEnergyFJ-wantE) > 1e-9 {
+		t.Errorf("energy scaling: got %g want %g", low.GateEnergyFJ, wantE)
+	}
+	if low.FO4PS <= n.FO4PS {
+		t.Errorf("lower Vdd must be slower: %g vs %g", low.FO4PS, n.FO4PS)
+	}
+	if low.GateLeakNW >= n.GateLeakNW {
+		t.Errorf("lower Vdd must leak less")
+	}
+	// Raising voltage speeds things up and costs energy.
+	hi := n.WithVdd(1.0)
+	if hi.FO4PS >= n.FO4PS || hi.GateEnergyFJ <= n.GateEnergyFJ {
+		t.Errorf("overvolt: FO4 %g (nom %g), E %g (nom %g)", hi.FO4PS, n.FO4PS, hi.GateEnergyFJ, n.GateEnergyFJ)
+	}
+	// Invalid Vdd is a no-op.
+	same := n.WithVdd(0)
+	if same.Vdd != n.Vdd {
+		t.Errorf("WithVdd(0) should be a no-op")
+	}
+}
+
+func TestWithVddPropertyQuadratic(t *testing.T) {
+	n := MustByNode(16)
+	f := func(raw uint8) bool {
+		v := 0.5 + float64(raw)/255.0*0.5 // 0.5..1.0 V
+		s := n.WithVdd(v)
+		r := v / n.VddNominal
+		return math.Abs(s.GateEnergyFJ-n.GateEnergyFJ*r*r) < 1e-9 &&
+			math.Abs(s.SRAMCellReadFJ-n.SRAMCellReadFJ*r*r) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellHelpers(t *testing.T) {
+	n := MustByNode(28)
+	if n.CellAreaUM2(CellSRAM) != n.SRAMCellUM2 {
+		t.Errorf("sram cell area mismatch")
+	}
+	if n.CellAreaUM2(CellEDRAM) >= n.CellAreaUM2(CellSRAM) {
+		t.Errorf("eDRAM cell must be denser than SRAM")
+	}
+	if n.CellAreaUM2(CellDFF) <= n.CellAreaUM2(CellSRAM) {
+		t.Errorf("DFF cell must be bigger than SRAM")
+	}
+	w, h := n.CellDimsUM(CellSRAM)
+	if math.Abs(w*h-n.SRAMCellUM2) > 1e-9 {
+		t.Errorf("cell dims don't multiply to area: %g*%g != %g", w, h, n.SRAMCellUM2)
+	}
+	if math.Abs(w/h-SRAMCellAspect) > 1e-9 {
+		t.Errorf("aspect ratio: %g", w/h)
+	}
+}
+
+func TestLogicBlock(t *testing.T) {
+	n := MustByNode(28)
+	area, dyn, leak := n.LogicBlock(1000, 0.5)
+	if area <= 0 || dyn <= 0 || leak <= 0 {
+		t.Fatalf("LogicBlock: %g %g %g", area, dyn, leak)
+	}
+	area2, dyn2, leak2 := n.LogicBlock(2000, 0.5)
+	if math.Abs(area2-2*area) > 1e-9 || math.Abs(dyn2-2*dyn) > 1e-9 || math.Abs(leak2-2*leak) > 1e-9 {
+		t.Errorf("LogicBlock must be linear in gates")
+	}
+}
+
+func TestInvRonPositive(t *testing.T) {
+	for _, nm := range Nodes() {
+		n := MustByNode(nm)
+		if n.InvRonOhm() <= 0 {
+			t.Errorf("node %d: InvRon = %g", nm, n.InvRonOhm())
+		}
+		if n.GateAreaUM2() <= 0 {
+			t.Errorf("node %d: gate area = %g", nm, n.GateAreaUM2())
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if MustByNode(28).String() != "28nm@0.90V" {
+		t.Errorf("Node.String: %q", MustByNode(28).String())
+	}
+	for _, w := range []WireLayer{WireLocal, WireIntermediate, WireGlobal} {
+		if w.String() == "" {
+			t.Errorf("empty WireLayer string")
+		}
+	}
+	for _, c := range []MemCell{CellSRAM, CellDFF, CellEDRAM} {
+		if c.String() == "" {
+			t.Errorf("empty MemCell string")
+		}
+	}
+	if WireLayer(9).String() != "WireLayer(9)" {
+		t.Errorf("unknown layer string")
+	}
+	if MemCell(9).String() != "MemCell(9)" {
+		t.Errorf("unknown cell string")
+	}
+}
+
+func TestCellEnergyAndLeakHelpers(t *testing.T) {
+	n := MustByNode(28)
+	if n.CellReadFJ(CellSRAM) != n.SRAMCellReadFJ {
+		t.Errorf("sram read energy mismatch")
+	}
+	if n.CellReadFJ(CellEDRAM) <= n.CellReadFJ(CellSRAM) {
+		t.Errorf("destructive eDRAM read must cost more than SRAM")
+	}
+	if n.CellReadFJ(CellDFF) <= 0 {
+		t.Errorf("dff read energy must be positive")
+	}
+	if n.CellLeakNW(CellEDRAM) >= n.CellLeakNW(CellSRAM) {
+		t.Errorf("eDRAM cell leakage must undercut SRAM")
+	}
+	if n.CellLeakNW(CellDFF) <= n.CellLeakNW(CellSRAM) {
+		t.Errorf("DFF leaks more than a 6T cell")
+	}
+	// Unknown cell types fall back to SRAM behaviour.
+	if n.CellAreaUM2(MemCell(9)) != n.SRAMCellUM2 {
+		t.Errorf("unknown cell area fallback")
+	}
+	if n.CellReadFJ(MemCell(9)) != n.SRAMCellReadFJ {
+		t.Errorf("unknown cell read fallback")
+	}
+	if n.CellLeakNW(MemCell(9)) != n.SRAMCellLeakNW {
+		t.Errorf("unknown cell leak fallback")
+	}
+	if n.InvCinFF() != n.GateCapFF {
+		t.Errorf("InvCinFF must expose the unit inverter cap")
+	}
+}
+
+func TestMustByNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustByNode(1) must panic")
+		}
+	}()
+	MustByNode(1)
+}
+
+func TestDelayFactorNearThresholdClamp(t *testing.T) {
+	// Dropping Vdd toward threshold must slow the node dramatically but
+	// never produce NaN/Inf thanks to the clamp.
+	n := MustByNode(28)
+	low := n.WithVdd(0.30) // below the 0.35*Vnom clamp region
+	if math.IsNaN(low.FO4PS) || math.IsInf(low.FO4PS, 0) || low.FO4PS <= n.FO4PS {
+		t.Errorf("near-threshold FO4: %g (nominal %g)", low.FO4PS, n.FO4PS)
+	}
+}

@@ -1,0 +1,196 @@
+package tensorunit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"neurometer/internal/maclib"
+	"neurometer/internal/tech"
+)
+
+const cycle700 = 1e12 / 700e6
+
+func build(t *testing.T, cfg Config) *Unit {
+	t.Helper()
+	u, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build(%+v): %v", cfg, err)
+	}
+	return u
+}
+
+func tpuStyle(rows, cols int) Config {
+	return Config{
+		Node: tech.MustByNode(28).WithVdd(0.86),
+		Rows: rows, Cols: cols,
+		MulType: maclib.Int8,
+		CyclePS: cycle700,
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	if _, err := Build(Config{Node: tech.MustByNode(28), Rows: 0, Cols: 8, CyclePS: 1}); err == nil {
+		t.Errorf("zero rows must fail")
+	}
+	if _, err := Build(Config{Node: tech.MustByNode(28), Rows: 8, Cols: 8}); err == nil {
+		t.Errorf("zero cycle must fail")
+	}
+}
+
+func TestAccTypeDefaults(t *testing.T) {
+	u := build(t, tpuStyle(8, 8))
+	if u.Cfg.AccType != maclib.Int32 {
+		t.Errorf("int8 TU must default to int32 accumulation, got %v", u.Cfg.AccType)
+	}
+	cfg := tpuStyle(8, 8)
+	cfg.MulType = maclib.BF16
+	u = build(t, cfg)
+	if u.Cfg.AccType != maclib.FP32 {
+		t.Errorf("bf16 TU must default to fp32 accumulation, got %v", u.Cfg.AccType)
+	}
+}
+
+func TestTPUv1ScaleCalibration(t *testing.T) {
+	// 256x256 Int8 array at 28nm/0.86V: the TPU-v1 MMU occupies ~24% of a
+	// ~300-330mm2 die, i.e. roughly 70-85 mm2; full-activity power at
+	// 700MHz should be in the tens of watts.
+	u := build(t, tpuStyle(256, 256))
+	areaMM2 := u.AreaUM2() / 1e6
+	if areaMM2 < 55 || areaMM2 > 95 {
+		t.Errorf("256x256 int8 TU area out of calibration band: %.1f mm2", areaMM2)
+	}
+	powerW := u.PerMACPJ() * 1e-12 * float64(u.MACs()) * 700e6
+	if powerW < 25 || powerW > 55 {
+		t.Errorf("256x256 int8 TU power out of band: %.1f W", powerW)
+	}
+	if !u.MeetsTiming() {
+		t.Errorf("int8 cell must close timing at 700MHz: crit=%.0fps", u.CritPathPS())
+	}
+}
+
+func TestAreaScalesQuadratically(t *testing.T) {
+	small := build(t, tpuStyle(32, 32))
+	big := build(t, tpuStyle(64, 64))
+	r := big.AreaUM2() / small.AreaUM2()
+	if r < 3.3 || r > 4.7 {
+		t.Errorf("doubling the array side should ~4x the area, got %.2fx", r)
+	}
+}
+
+func TestPerMACEnergyRoughlySizeIndependent(t *testing.T) {
+	// The per-MAC energy of a unicast TU is dominated by the cell; FIFO
+	// amortization makes small arrays slightly more expensive per MAC.
+	small := build(t, tpuStyle(8, 8))
+	big := build(t, tpuStyle(128, 128))
+	if small.PerMACPJ() <= big.PerMACPJ() {
+		t.Errorf("FIFO amortization: 8x8 (%.3fpJ) should cost more per MAC than 128x128 (%.3fpJ)",
+			small.PerMACPJ(), big.PerMACPJ())
+	}
+	if small.PerMACPJ() > big.PerMACPJ()*2.5 {
+		t.Errorf("per-MAC energy gap too large: %.3f vs %.3f", small.PerMACPJ(), big.PerMACPJ())
+	}
+}
+
+func TestDataTypeOrdering(t *testing.T) {
+	i8 := build(t, tpuStyle(32, 32))
+	cfg := tpuStyle(32, 32)
+	cfg.MulType = maclib.BF16
+	bf := build(t, cfg)
+	if bf.AreaUM2() <= i8.AreaUM2() || bf.PerMACPJ() <= i8.PerMACPJ() {
+		t.Errorf("bf16 TU must be bigger and hungrier than int8")
+	}
+}
+
+func TestMulticastEyerissStyle(t *testing.T) {
+	cfg := Config{
+		Node: tech.MustByNode(65),
+		Rows: 12, Cols: 14,
+		MulType: maclib.Int16, AccType: maclib.Int32,
+		Interconnect: Multicast, Dataflow: RowStationary,
+		LocalSpadBytes: 448, LocalRegBytes: 72,
+		CyclePS: 1e12 / 200e6,
+	}
+	u := build(t, cfg)
+	if u.BusResult().AreaUM2 <= 0 {
+		t.Errorf("multicast TU must have bus area")
+	}
+	if !u.MeetsTiming() {
+		t.Errorf("Eyeriss-style TU must close timing at 200MHz: crit=%.0fps", u.CritPathPS())
+	}
+	// The PE (cell) carries the spad: it must dwarf a bare int16 cell.
+	bare := build(t, Config{
+		Node: tech.MustByNode(65), Rows: 12, Cols: 14,
+		MulType: maclib.Int16, AccType: maclib.Int32,
+		Interconnect: Multicast, CyclePS: 1e12 / 200e6,
+	})
+	if u.CellResult().AreaUM2 < 3*bare.CellResult().AreaUM2 {
+		t.Errorf("spad-equipped PE should be >3x a bare cell: %g vs %g",
+			u.CellResult().AreaUM2, bare.CellResult().AreaUM2)
+	}
+	// Eyeriss PE array (168 PEs incl. spads) lands in the handful-of-mm2
+	// range at 65nm.
+	if a := u.AreaUM2() / 1e6; a < 4 || a > 14 {
+		t.Errorf("Eyeriss-style PE array area out of band: %.2f mm2", a)
+	}
+}
+
+func TestUnicastVsMulticastDelay(t *testing.T) {
+	uni := build(t, tpuStyle(64, 64))
+	cfg := tpuStyle(64, 64)
+	cfg.Interconnect = Multicast
+	multi := build(t, cfg)
+	if multi.CritPathPS() <= uni.CritPathPS() {
+		t.Errorf("a 64-wide multicast bus must be slower than a neighbour hop: %g vs %g",
+			multi.CritPathPS(), uni.CritPathPS())
+	}
+}
+
+func TestDataflowsDiffer(t *testing.T) {
+	ws := build(t, tpuStyle(32, 32))
+	cfg := tpuStyle(32, 32)
+	cfg.Dataflow = OutputStationary
+	os := build(t, cfg)
+	if ws.CellResult().AreaUM2 == os.CellResult().AreaUM2 {
+		t.Errorf("WS and OS cells should differ in register complement")
+	}
+}
+
+func TestPeakOps(t *testing.T) {
+	u := build(t, tpuStyle(64, 64))
+	if u.MACs() != 4096 {
+		t.Errorf("MACs: %d", u.MACs())
+	}
+	if u.PeakOpsPerCycle() != 8192 {
+		t.Errorf("PeakOps: %g", u.PeakOpsPerCycle())
+	}
+}
+
+func TestResultValidProperty(t *testing.T) {
+	f := func(r, c uint8) bool {
+		rows := int(r%64) + 1
+		cols := int(c%64) + 1
+		u, err := Build(tpuStyle(rows, cols))
+		if err != nil {
+			return false
+		}
+		return u.Result().Valid() && u.AreaUM2() > 0 && u.PerMACPJ() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringMentionsConfig(t *testing.T) {
+	u := build(t, tpuStyle(16, 16))
+	s := u.String()
+	if !strings.Contains(s, "16x16") || !strings.Contains(s, "unicast") {
+		t.Errorf("String: %q", s)
+	}
+	if Unicast.String() != "unicast" || Multicast.String() != "multicast" {
+		t.Errorf("interconnect strings")
+	}
+	if WeightStationary.String() == "" || OutputStationary.String() == "" || RowStationary.String() == "" {
+		t.Errorf("dataflow strings")
+	}
+}

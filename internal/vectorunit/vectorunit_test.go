@@ -1,0 +1,117 @@
+package vectorunit
+
+import (
+	"testing"
+
+	"neurometer/internal/maclib"
+	"neurometer/internal/tech"
+)
+
+const cycle700 = 1e12 / 700e6
+
+func cfg(lanes int) Config {
+	return Config{
+		Node:     tech.MustByNode(28),
+		Lanes:    lanes,
+		ElemType: maclib.Int32,
+		CyclePS:  cycle700,
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(cfg(0)); err == nil {
+		t.Errorf("zero lanes must fail")
+	}
+	c := cfg(8)
+	c.CyclePS = 0
+	if _, err := Build(c); err == nil {
+		t.Errorf("zero cycle must fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	u, err := Build(cfg(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "for the core with single VU and single TU, VReg is configured
+	// as 4 read ports and 2 write ports to support dual issue width".
+	if u.Cfg.VRegReadPorts != 4 || u.Cfg.VRegWritePorts != 2 {
+		t.Errorf("default ports: %dR%dW, want 4R2W", u.Cfg.VRegReadPorts, u.Cfg.VRegWritePorts)
+	}
+	if u.Cfg.VRegEntries != 32 {
+		t.Errorf("default entries: %d", u.Cfg.VRegEntries)
+	}
+}
+
+func TestAreaScalesWithLanes(t *testing.T) {
+	u16, err := Build(cfg(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u64, err := Build(cfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := u64.AreaUM2() / u16.AreaUM2()
+	if r < 3.5 || r > 4.5 {
+		t.Errorf("4x lanes should ~4x the area, got %.2fx", r)
+	}
+}
+
+func TestPortExplosion(t *testing.T) {
+	// The paper prunes N (TUs per core) at 4 because VReg ports explode:
+	// with many ports the VReg area overhead balloons. Check the knee.
+	base, err := Build(cfg(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := cfg(32)
+	many.VRegReadPorts, many.VRegWritePorts = 18, 9 // 8 TUs + VU at 2R1W each
+	u, err := Build(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.VRegAreaUM2() < 4*base.VRegAreaUM2() {
+		t.Errorf("18R9W VReg should be >4x the 4R2W one: %g vs %g",
+			u.VRegAreaUM2(), base.VRegAreaUM2())
+	}
+}
+
+func TestMACLanesCostMore(t *testing.T) {
+	plain, err := Build(cfg(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := cfg(32)
+	mc.HasMAC = true
+	mac, err := Build(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mac.AreaUM2() <= plain.AreaUM2() || mac.PerOpPJ() <= plain.PerOpPJ() {
+		t.Errorf("MAC lanes must cost more")
+	}
+	if plain.PeakOpsPerCycle() != 32 || mac.PeakOpsPerCycle() != 64 {
+		t.Errorf("peak ops: %g / %g", plain.PeakOpsPerCycle(), mac.PeakOpsPerCycle())
+	}
+}
+
+func TestTimingAndResult(t *testing.T) {
+	u, err := Build(cfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.MeetsTiming() {
+		t.Errorf("int32 VU should close 700MHz: crit=%.0f", u.CritPathPS())
+	}
+	if !u.Result().Valid() || u.LeakUW() <= 0 {
+		t.Errorf("result invalid")
+	}
+	if u.String() == "" {
+		t.Errorf("empty string")
+	}
+	if u.VReg() == nil {
+		t.Errorf("nil VReg")
+	}
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"fmt"
+
+	"neurometer/internal/graph"
+)
+
+// conv is a helper for building branch-heavy graphs.
+type convSpec struct {
+	name   string
+	in     int // input channels
+	out    int
+	kh, kw int
+	stride int
+	same   bool
+}
+
+// InceptionV3 returns the Inception-v3 table (299x299 input), following the
+// canonical channel configuration (stem, 3x InceptionA, grid reduction,
+// 4x InceptionB, grid reduction, 2x InceptionC, classifier). Branch
+// structure is linearized: each branch's convs appear in order and a Concat
+// marks the join; the simulator treats layers independently, so
+// linearization preserves MACs, params and footprints.
+func InceptionV3() *graph.Graph {
+	g := &graph.Graph{Name: "inception"}
+	add := func(h int, c convSpec) {
+		g.Layers = append(g.Layers, graph.Layer{
+			Name: c.name, Kind: graph.Conv2D,
+			InH: h, InW: h, InC: c.in, OutC: c.out,
+			KH: c.kh, KW: c.kw, Stride: c.stride, SamePad: c.same,
+		})
+	}
+	pool := func(name string, h, c, k, s int, same bool) {
+		g.Layers = append(g.Layers, graph.Layer{
+			Name: name, Kind: graph.Pool, InH: h, InW: h, InC: c, KH: k, KW: k, Stride: s, SamePad: same,
+		})
+	}
+	concat := func(name string, h, c int) {
+		g.Layers = append(g.Layers, graph.Layer{
+			Name: name, Kind: graph.Concat, InH: h, InW: h, InC: c, OutC: c,
+		})
+	}
+
+	// ---- Stem ----------------------------------------------------------------
+	add(299, convSpec{"stem_conv1", 3, 32, 3, 3, 2, false})  // -> 149
+	add(149, convSpec{"stem_conv2", 32, 32, 3, 3, 1, false}) // -> 147
+	add(147, convSpec{"stem_conv3", 32, 64, 3, 3, 1, true})  // -> 147
+	pool("stem_pool1", 147, 64, 3, 2, false)                 // -> 73
+	add(73, convSpec{"stem_conv4", 64, 80, 1, 1, 1, false})  // -> 73
+	add(73, convSpec{"stem_conv5", 80, 192, 3, 3, 1, false}) // -> 71
+	pool("stem_pool2", 71, 192, 3, 2, false)                 // -> 35
+
+	// ---- InceptionA x3 at 35x35 ------------------------------------------------
+	inceptionA := func(idx, in, poolProj int) int {
+		p := func(n string) string { return fmt.Sprintf("mixedA%d_%s", idx, n) }
+		add(35, convSpec{p("b1_1x1"), in, 64, 1, 1, 1, true})
+		add(35, convSpec{p("b2_1x1"), in, 48, 1, 1, 1, true})
+		add(35, convSpec{p("b2_5x5"), 48, 64, 5, 5, 1, true})
+		add(35, convSpec{p("b3_1x1"), in, 64, 1, 1, 1, true})
+		add(35, convSpec{p("b3_3x3a"), 64, 96, 3, 3, 1, true})
+		add(35, convSpec{p("b3_3x3b"), 96, 96, 3, 3, 1, true})
+		pool(p("b4_pool"), 35, in, 3, 1, true)
+		add(35, convSpec{p("b4_proj"), in, poolProj, 1, 1, 1, true})
+		out := 64 + 64 + 96 + poolProj
+		concat(p("concat"), 35, out)
+		return out
+	}
+	c := 192
+	c = inceptionA(0, c, 32) // 256
+	c = inceptionA(1, c, 64) // 288
+	c = inceptionA(2, c, 64) // 288
+
+	// ---- Grid reduction to 17x17 -------------------------------------------------
+	add(35, convSpec{"redB_b1_3x3", c, 384, 3, 3, 2, false}) // -> 17
+	add(35, convSpec{"redB_b2_1x1", c, 64, 1, 1, 1, true})
+	add(35, convSpec{"redB_b2_3x3a", 64, 96, 3, 3, 1, true})
+	add(35, convSpec{"redB_b2_3x3b", 96, 96, 3, 3, 2, false}) // -> 17
+	pool("redB_pool", 35, c, 3, 2, false)
+	c = 384 + 96 + c // 768
+	concat("redB_concat", 17, c)
+
+	// ---- InceptionB x4 at 17x17 (7x1/1x7 factorized) ------------------------------
+	inceptionB := func(idx, in, mid int) int {
+		p := func(n string) string { return fmt.Sprintf("mixedB%d_%s", idx, n) }
+		add(17, convSpec{p("b1_1x1"), in, 192, 1, 1, 1, true})
+		add(17, convSpec{p("b2_1x1"), in, mid, 1, 1, 1, true})
+		add(17, convSpec{p("b2_1x7"), mid, mid, 1, 7, 1, true})
+		add(17, convSpec{p("b2_7x1"), mid, 192, 7, 1, 1, true})
+		add(17, convSpec{p("b3_1x1"), in, mid, 1, 1, 1, true})
+		add(17, convSpec{p("b3_7x1a"), mid, mid, 7, 1, 1, true})
+		add(17, convSpec{p("b3_1x7a"), mid, mid, 1, 7, 1, true})
+		add(17, convSpec{p("b3_7x1b"), mid, mid, 7, 1, 1, true})
+		add(17, convSpec{p("b3_1x7b"), mid, 192, 1, 7, 1, true})
+		pool(p("b4_pool"), 17, in, 3, 1, true)
+		add(17, convSpec{p("b4_proj"), in, 192, 1, 1, 1, true})
+		concat(p("concat"), 17, 768)
+		return 768
+	}
+	c = inceptionB(0, c, 128)
+	c = inceptionB(1, c, 160)
+	c = inceptionB(2, c, 160)
+	c = inceptionB(3, c, 192)
+
+	// ---- Grid reduction to 8x8 ------------------------------------------------------
+	add(17, convSpec{"redC_b1_1x1", c, 192, 1, 1, 1, true})
+	add(17, convSpec{"redC_b1_3x3", 192, 320, 3, 3, 2, false}) // -> 8
+	add(17, convSpec{"redC_b2_1x1", c, 192, 1, 1, 1, true})
+	add(17, convSpec{"redC_b2_1x7", 192, 192, 1, 7, 1, true})
+	add(17, convSpec{"redC_b2_7x1", 192, 192, 7, 1, 1, true})
+	add(17, convSpec{"redC_b2_3x3", 192, 192, 3, 3, 2, false}) // -> 8
+	pool("redC_pool", 17, c, 3, 2, false)
+	c = 320 + 192 + c // 1280
+	concat("redC_concat", 8, c)
+
+	// ---- InceptionC x2 at 8x8 ----------------------------------------------------------
+	inceptionC := func(idx, in int) int {
+		p := func(n string) string { return fmt.Sprintf("mixedC%d_%s", idx, n) }
+		add(8, convSpec{p("b1_1x1"), in, 320, 1, 1, 1, true})
+		add(8, convSpec{p("b2_1x1"), in, 384, 1, 1, 1, true})
+		add(8, convSpec{p("b2_1x3"), 384, 384, 1, 3, 1, true})
+		add(8, convSpec{p("b2_3x1"), 384, 384, 3, 1, 1, true})
+		add(8, convSpec{p("b3_1x1"), in, 448, 1, 1, 1, true})
+		add(8, convSpec{p("b3_3x3"), 448, 384, 3, 3, 1, true})
+		add(8, convSpec{p("b3_1x3"), 384, 384, 1, 3, 1, true})
+		add(8, convSpec{p("b3_3x1"), 384, 384, 3, 1, 1, true})
+		pool(p("b4_pool"), 8, in, 3, 1, true)
+		add(8, convSpec{p("b4_proj"), in, 192, 1, 1, 1, true})
+		out := 320 + 2*384 + 2*384 + 192 // 2048
+		concat(p("concat"), 8, out)
+		return out
+	}
+	c = inceptionC(0, c)
+	c = inceptionC(1, c)
+
+	// ---- Classifier ------------------------------------------------------------------------
+	g.Layers = append(g.Layers,
+		graph.Layer{Name: "gap", Kind: graph.GlobalPool, InH: 8, InW: 8, InC: c},
+		graph.Layer{Name: "fc", Kind: graph.MatMul, InH: 1, InW: 1, InC: c, OutC: 1000},
+	)
+	return g
+}

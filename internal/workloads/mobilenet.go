@@ -1,0 +1,53 @@
+package workloads
+
+import (
+	"fmt"
+
+	"neurometer/internal/graph"
+)
+
+// MobileNetV1 returns the standard MobileNet-224 table (1.0x width): a
+// 3x3 stem convolution followed by thirteen depthwise-separable blocks and
+// the classifier — ~569M MACs and ~4.2M parameters, the canonical
+// edge-inference workload (and a stress test for the depthwise mapping
+// path the datacenter CNNs barely touch).
+func MobileNetV1() *graph.Graph {
+	g := &graph.Graph{Name: "mobilenet"}
+	h := 224
+	conv := func(name string, in, out, k, s int) {
+		g.Layers = append(g.Layers, graph.Layer{
+			Name: name, Kind: graph.Conv2D, InH: h, InW: h, InC: in, OutC: out,
+			KH: k, KW: k, Stride: s, SamePad: true,
+		})
+		h = (h + s - 1) / s
+	}
+	dwsep := func(idx, in, out, stride int) {
+		g.Layers = append(g.Layers, graph.Layer{
+			Name: fmt.Sprintf("dw%d", idx), Kind: graph.DepthwiseConv2D,
+			InH: h, InW: h, InC: in, KH: 3, KW: 3, Stride: stride, SamePad: true,
+		})
+		h = (h + stride - 1) / stride
+		g.Layers = append(g.Layers, graph.Layer{
+			Name: fmt.Sprintf("pw%d", idx), Kind: graph.Conv2D,
+			InH: h, InW: h, InC: in, OutC: out, KH: 1, KW: 1, Stride: 1, SamePad: true,
+		})
+	}
+
+	conv("conv1", 3, 32, 3, 2) // -> 112
+	blocks := []struct{ in, out, stride int }{
+		{32, 64, 1},
+		{64, 128, 2}, {128, 128, 1},
+		{128, 256, 2}, {256, 256, 1},
+		{256, 512, 2},
+		{512, 512, 1}, {512, 512, 1}, {512, 512, 1}, {512, 512, 1}, {512, 512, 1},
+		{512, 1024, 2}, {1024, 1024, 1},
+	}
+	for i, b := range blocks {
+		dwsep(i+1, b.in, b.out, b.stride)
+	}
+	g.Layers = append(g.Layers,
+		graph.Layer{Name: "gap", Kind: graph.GlobalPool, InH: h, InW: h, InC: 1024},
+		graph.Layer{Name: "fc", Kind: graph.MatMul, InH: 1, InW: 1, InC: 1024, OutC: 1000},
+	)
+	return g
+}

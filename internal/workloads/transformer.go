@@ -1,0 +1,83 @@
+package workloads
+
+import (
+	"fmt"
+
+	"neurometer/internal/graph"
+)
+
+// TransformerEncoder returns a BERT-base-class encoder stack as a layer
+// table — an extension beyond the paper's CNN-only study that exercises the
+// MatMul path of the simulator. Attention score/context products are
+// batched small GEMMs; they are modeled as MatMul layers with the reduction
+// and output dimensions of one head, repeated per head, which preserves MAC
+// and parameter totals.
+//
+// Shape conventions: the sequence dimension rides the simulator's batch
+// (one "frame" is one token), so simulating with batch = seqLen models one
+// sequence; weights follow the standard 12-layer, 768-hidden, 12-head
+// configuration (~85M encoder params, ~94M MACs per token, i.e. ~48 GMACs
+// for a 512-token sequence).
+func TransformerEncoder(layers, hidden, heads, seqLen int) (*graph.Graph, error) {
+	if layers <= 0 || hidden <= 0 || heads <= 0 || seqLen <= 0 {
+		return nil, fmt.Errorf("workloads: transformer dims must be positive")
+	}
+	if hidden%heads != 0 {
+		return nil, fmt.Errorf("workloads: hidden (%d) must divide by heads (%d)", hidden, heads)
+	}
+	headDim := hidden / heads
+	g := &graph.Graph{Name: "transformer"}
+	mm := func(name string, in, out int) {
+		g.Layers = append(g.Layers, graph.Layer{
+			Name: name, Kind: graph.MatMul, InH: 1, InW: 1, InC: in, OutC: out,
+		})
+	}
+	mmDyn := func(name string, in, out int) {
+		g.Layers = append(g.Layers, graph.Layer{
+			Name: name, Kind: graph.MatMul, InH: 1, InW: 1, InC: in, OutC: out,
+			DynamicB: true,
+		})
+	}
+	vec := func(name string, kind graph.OpKind, c int) {
+		g.Layers = append(g.Layers, graph.Layer{
+			Name: name, Kind: kind, InH: 1, InW: 1, InC: c,
+		})
+	}
+	for l := 0; l < layers; l++ {
+		p := func(n string) string { return fmt.Sprintf("l%d_%s", l, n) }
+		// Attention projections.
+		mm(p("q"), hidden, hidden)
+		mm(p("k"), hidden, hidden)
+		mm(p("v"), hidden, hidden)
+		// Scores (q . k^T) and context (scores . v): per token, each head
+		// reduces over headDim (scores) and seqLen (context).
+		for h := 0; h < heads; h++ {
+			mmDyn(p(fmt.Sprintf("scores_h%d", h)), headDim, seqLen)
+		}
+		vec(p("softmax"), graph.Softmax, heads*seqLen)
+		for h := 0; h < heads; h++ {
+			mmDyn(p(fmt.Sprintf("context_h%d", h)), seqLen, headDim)
+		}
+		mm(p("attn_out"), hidden, hidden)
+		vec(p("ln1"), graph.BatchNorm, hidden)
+		vec(p("residual1"), graph.EltwiseAdd, hidden)
+		// Feed-forward.
+		mm(p("ffn_up"), hidden, 4*hidden)
+		vec(p("gelu"), graph.Activation, 4*hidden)
+		mm(p("ffn_down"), 4*hidden, hidden)
+		vec(p("ln2"), graph.BatchNorm, hidden)
+		vec(p("residual2"), graph.EltwiseAdd, hidden)
+	}
+	mm("pooler", hidden, hidden)
+	return g, nil
+}
+
+// BERTBase returns the canonical 12x768x12 encoder at 512 tokens.
+func BERTBase() *graph.Graph {
+	g, err := TransformerEncoder(12, 768, 12, 512)
+	if err != nil {
+		panic(err) // constants are valid by construction
+	}
+	g.Name = "bert-base"
+	return g
+}
