@@ -6,28 +6,59 @@
 //	-fig 8   chip-level area/TDP breakdowns and peak efficiencies
 //	-fig 9   batch sweep + 10ms latency-limited batch on (64,2,2,4)
 //	-fig 10  runtime performance/efficiency across design points
+//
+// Observability flags (see the README's Observability section):
+//
+//	-trace f.json   Chrome trace-event JSON of the sweep (Perfetto loadable)
+//	-metrics        metrics snapshot on exit (candidates pruned, layers
+//	                simulated, eval-latency histogram, ...)
+//	-cpuprofile f   pprof CPU profile
+//	-memprofile f   pprof heap profile
+//	-v              debug-level progress logging
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"os"
 	"sort"
 
 	"neurometer/internal/dse"
+	"neurometer/internal/obs"
 )
 
 func main() {
 	fig := flag.Int("fig", 10, "figure to reproduce: 7, 8, 9 or 10; 0 = ablation studies; -1 = edge-scenario sweep")
 	full := flag.Bool("full", false, "evaluate the full feasible set instead of the frontier")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	stop, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	runErr := run(*fig, *full)
+	stop() // flush profiles/trace/metrics before any exit
+	if runErr != nil {
+		slog.Error(runErr.Error())
+		os.Exit(1)
+	}
+}
+
+func run(fig int, full bool) error {
+	ctx, root := obs.Start(context.Background(), "dse.run")
+	root.SetInt("fig", int64(fig))
+	defer root.End()
+
 	cs := dse.TableI()
-	switch *fig {
+	switch fig {
 	case -1:
 		rows, err := dse.EdgeStudy()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("edge sweep (28nm, 16mm2, 2W, LPDDR 12.8GB/s): single-image inference")
 		fmt.Printf("%-12s %9s %9s %7s | %20s | %20s\n",
@@ -40,20 +71,20 @@ func main() {
 	case 0:
 		s, err := dse.AllAblations(cs)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(s)
 	case 7:
 		rows, err := dse.Fig7(cs, dse.DefaultModels(), []int{1, 4, 16, 64, 256})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("%-10s %6s %12s %12s %7s\n", "model", "batch", "fps-before", "fps-after", "gain")
 		for _, r := range rows {
 			fmt.Printf("%-10s %6d %12.1f %12.1f %6.2fx\n", r.Model, r.Batch, r.FPSBefore, r.FPSAfter, r.Gain())
 		}
 	case 8:
-		cands := candidates(cs, *full)
+		cands := candidates(ctx, cs, full)
 		rows := dse.Fig8(cands)
 		fmt.Printf("%-14s %9s %9s %8s %9s %12s  breakdown (mm2)\n",
 			"point", "peakTOPS", "area", "TDP", "TOPS/W", "TOPS/TCO")
@@ -69,7 +100,7 @@ func main() {
 	case 9:
 		rows, limits, err := dse.Fig9(cs, dse.DefaultModels(), []int{1, 2, 4, 8, 16, 32, 64, 128, 256})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("%-10s %6s %10s %10s %s\n", "model", "batch", "fps", "latency", "SLO10")
 		for _, r := range rows {
@@ -80,10 +111,10 @@ func main() {
 			fmt.Printf("  %-10s %d\n", m, limits[m])
 		}
 	case 10:
-		cands := dse.SecondRound(candidates(cs, *full), cs.TOPSCap)
-		out, err := dse.Fig10(cands, dse.DefaultModels())
+		cands := dse.SecondRound(candidates(ctx, cs, full), cs.TOPSCap)
+		out, err := dse.Fig10Ctx(ctx, cands, dse.DefaultModels())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for _, name := range []string{"a-small", "b-medium", "c-large"} {
 			rows := out[name]
@@ -101,12 +132,13 @@ func main() {
 			fmt.Println()
 		}
 	default:
-		log.Fatalf("unknown figure %d", *fig)
+		return fmt.Errorf("unknown figure %d", fig)
 	}
+	return nil
 }
 
-func candidates(cs dse.Constraints, full bool) []dse.Candidate {
-	cands := dse.Enumerate(cs)
+func candidates(ctx context.Context, cs dse.Constraints, full bool) []dse.Candidate {
+	cands := dse.EnumerateCtx(ctx, cs)
 	if !full {
 		cands = dse.Frontier(cands, cs.TOPSCap)
 	}

@@ -7,16 +7,22 @@
 //
 //	neurometer -preset tpuv1
 //	neurometer -config my-chip.json -workload resnet -batch 16
+//
+// Observability flags (-trace, -metrics, -cpuprofile, -memprofile, -v) are
+// documented in the README's Observability section.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 
 	"neurometer"
+	"neurometer/internal/obs"
 	"neurometer/internal/refchips"
 )
 
@@ -118,12 +124,29 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the machine-readable JSON report instead of text")
 	asERT := flag.Bool("ert", false, "emit the Accelergy-style energy reference table (JSON)")
 	profile := flag.Bool("profile", false, "with -workload: print the per-layer runtime power profile")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	runErr := run(*configPath, *preset, *workload, *batch, *asJSON, *asERT, *profile)
+	stop() // flush profiles/trace/metrics before any exit
+	if runErr != nil {
+		slog.Error(runErr.Error())
+		os.Exit(1)
+	}
+}
+
+func run(configPath, preset, workload string, batch int, asJSON, asERT, profile bool) error {
+	ctx, root := obs.Start(context.Background(), "neurometer.run")
+	defer root.End()
 
 	var cfg neurometer.Config
 	switch {
-	case *preset != "":
-		switch *preset {
+	case preset != "":
+		switch preset {
 		case "tpuv1":
 			cfg = refchips.TPUv1()
 		case "tpuv2":
@@ -131,68 +154,72 @@ func main() {
 		case "eyeriss":
 			cfg = refchips.Eyeriss()
 		default:
-			log.Fatalf("unknown preset %q", *preset)
+			return fmt.Errorf("unknown preset %q", preset)
 		}
-	case *configPath != "":
-		raw, err := os.ReadFile(*configPath)
+	case configPath != "":
+		raw, err := os.ReadFile(configPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var j jsonConfig
 		if err := json.Unmarshal(raw, &j); err != nil {
-			log.Fatalf("parsing %s: %v", *configPath, err)
+			return fmt.Errorf("parsing %s: %w", configPath, err)
 		}
 		cfg, err = j.toConfig()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	default:
-		log.Fatal("either -config or -preset is required")
+		return fmt.Errorf("either -config or -preset is required")
 	}
 
+	_, bspan := obs.Start(ctx, "neurometer.build")
+	bspan.SetStr("chip", cfg.Name)
 	c, err := neurometer.Build(cfg)
+	bspan.End()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	switch {
-	case *asERT:
+	case asERT:
 		raw, err := c.MarshalEnergyTable()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(string(raw))
-	case *asJSON:
+	case asJSON:
 		raw, err := c.MarshalReport()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(string(raw))
 	default:
 		fmt.Println(c.Report())
 	}
 
-	if *workload != "" {
-		g, err := neurometer.Workload(*workload)
+	if workload != "" {
+		g, err := neurometer.Workload(workload)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		res, err := neurometer.Simulate(c, g, *batch, neurometer.DefaultSimOptions())
+		res, err := neurometer.SimulateCtx(ctx, c, g, batch, neurometer.DefaultSimOptions())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		e := c.Efficiency(res.AchievedTOPS*1e12, res.Activity)
-		fmt.Printf("== runtime: %s @ batch %d ==\n", g.Name, *batch)
+		fmt.Printf("== runtime: %s @ batch %d ==\n", g.Name, batch)
 		fmt.Printf("throughput: %.1f fps, latency %.2f ms\n", res.FPS, res.LatencySec*1e3)
 		fmt.Printf("achieved:   %.2f TOPS (%.1f%% utilization)\n", res.AchievedTOPS, res.Utilization*100)
 		fmt.Printf("power:      %.1f W -> %.3f TOPS/W, %.3g TOPS/TCO\n",
 			e.PowerW, e.TOPSPerWatt, e.TOPSPerTCO)
-		if *profile {
+		if profile {
 			trace, err := c.RuntimeTrace(res.ActivityTrace(c))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Printf("profile:    avg %.1f W, peak %.1f W, %.3f J over %.2f ms (%d phases)\n",
 				trace.AvgPowerW, trace.PeakPowerW, trace.EnergyJ, trace.TotalSec*1e3, len(trace.Points))
 		}
 	}
+	return nil
 }

@@ -6,9 +6,18 @@ import (
 	"sort"
 
 	"neurometer/internal/noc"
+	"neurometer/internal/obs"
 	"neurometer/internal/pat"
 	"neurometer/internal/periph"
 	"neurometer/internal/tech"
+)
+
+// Observability: PAT evaluations are counted in the obs default registry —
+// chip.builds counts attempts, chip.build_failures the configurations
+// rejected for validation, timing, or budget reasons.
+var (
+	mBuilds        = obs.NewCounter("chip.builds")
+	mBuildFailures = obs.NewCounter("chip.build_failures")
 )
 
 // TDP assumptions: activity factors at thermal design conditions, and the
@@ -45,6 +54,15 @@ type Chip struct {
 // Build constructs and evaluates a chip from the high-level configuration,
 // performing the clock search and budget checks.
 func Build(cfg Config) (*Chip, error) {
+	mBuilds.Inc()
+	c, err := build(cfg)
+	if err != nil {
+		mBuildFailures.Inc()
+	}
+	return c, err
+}
+
+func build(cfg Config) (*Chip, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

@@ -6,17 +6,37 @@
 package dse
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
+	"time"
 
 	"neurometer/internal/chip"
 	"neurometer/internal/graph"
 	"neurometer/internal/maclib"
+	"neurometer/internal/obs"
 	"neurometer/internal/perfsim"
 	"neurometer/internal/periph"
 	"neurometer/internal/workloads"
 )
+
+// Observability: sweep counters and the per-candidate evaluation latency
+// histogram feed the obs default registry; progress is logged at debug
+// level (visible under the CLIs' -v flag).
+var (
+	mEnumerated   = obs.NewCounter("dse.candidates_enumerated")
+	mPruned       = obs.NewCounter("dse.candidates_pruned")
+	mFeasible     = obs.NewCounter("dse.candidates_feasible")
+	mEvalFailures = obs.NewCounter("dse.candidate_failures")
+	mEvalLatency  = obs.NewHistogram("dse.candidate_eval_seconds", nil)
+)
+
+// progressEvery is the candidate interval between progress log lines in
+// the enumeration and runtime-study loops.
+const progressEvery = 16
 
 // Point is one design point: TU length X, TUs per core N, and the Tx x Ty
 // tile grid.
@@ -117,24 +137,43 @@ func gridShapes(maxTiles int) [][2]int {
 // bound (§III-A.1: points beyond the budget or with extremely low
 // performance are pruned; core count is swept up to the feasibility edge).
 func Enumerate(cs Constraints) []Candidate {
+	return EnumerateCtx(context.Background(), cs)
+}
+
+// EnumerateCtx is Enumerate with observability: a span over the sweep,
+// pruning counters, and debug-level progress logging every few candidates.
+func EnumerateCtx(ctx context.Context, cs Constraints) []Candidate {
+	ctx, span := obs.Start(ctx, "dse.enumerate")
+	defer span.End()
+	var tried int
 	var out []Candidate
 	for _, x := range cs.XChoices {
 		for _, n := range cs.NChoices {
 			for _, g := range gridShapes(cs.MaxTiles) {
 				p := Point{X: x, N: n, Tx: g[0], Ty: g[1]}
+				tried++
+				mEnumerated.Inc()
+				if tried%progressEvery == 0 {
+					slog.DebugContext(ctx, "dse: enumerate progress",
+						"tried", tried, "feasible", len(out))
+				}
 				peak := 2 * float64(x) * float64(x) * float64(n) *
 					float64(p.Tiles()) * cs.ClockHz / 1e12
 				if peak > cs.TOPSCap*1.001 {
+					mPruned.Inc()
 					continue
 				}
 				// Prune extremely low performance points early.
 				if peak < cs.TOPSCap/32 {
+					mPruned.Inc()
 					continue
 				}
 				c, err := chip.Build(cs.Config(p))
 				if err != nil {
+					mPruned.Inc()
 					continue // over budget or timing-infeasible
 				}
+				mFeasible.Inc()
 				out = append(out, Candidate{
 					Point:          p,
 					Chip:           c,
@@ -157,6 +196,9 @@ func Enumerate(cs Constraints) []Candidate {
 		}
 		return a.Point.Tiles() < b.Point.Tiles()
 	})
+	span.SetInt("tried", int64(tried))
+	span.SetInt("feasible", int64(len(out)))
+	slog.DebugContext(ctx, "dse: enumerate done", "tried", tried, "feasible", len(out))
 	return out
 }
 
@@ -249,9 +291,29 @@ type RuntimeRow struct {
 
 // RuntimeStudy simulates every candidate on the workload set under the
 // batch regime and aggregates the four Fig. 10 metrics.
+//
+// A failing candidate does not abort the sweep: its error is wrapped with
+// the design point and model name, counted in the dse.candidate_failures
+// metric, logged, and the candidate is skipped. The joined failure errors
+// are returned only when every candidate failed (no rows survived).
 func RuntimeStudy(cands []Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options) ([]RuntimeRow, error) {
+	return RuntimeStudyCtx(context.Background(), cands, models, spec, opt)
+}
+
+// RuntimeStudyCtx is RuntimeStudy with observability: a span over the
+// study, a child span per candidate (nesting the per-graph simulation
+// spans), an eval-latency histogram, and progress logging.
+func RuntimeStudyCtx(ctx context.Context, cands []Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options) ([]RuntimeRow, error) {
+	ctx, span := obs.Start(ctx, "dse.runtime-study")
+	defer span.End()
+	span.SetStr("spec", spec.String())
+	span.SetInt("candidates", int64(len(cands)))
 	var rows []RuntimeRow
-	for _, cand := range cands {
+	var failures []error
+	for i, cand := range cands {
+		cctx, cspan := obs.Start(ctx, "dse.candidate")
+		cspan.SetStr("point", cand.Point.String())
+		evalStart := time.Now()
 		row := RuntimeRow{Point: cand.Point, PeakTOPS: cand.PeakTOPS}
 		utilProd, wEffProd, cEffProd := 1.0, 1.0, 1.0
 		ok := true
@@ -260,11 +322,17 @@ func RuntimeStudy(cands []Candidate, models []*graph.Graph, spec BatchSpec, opt 
 			var err error
 			batch := spec.Fixed
 			if batch > 0 {
-				res, err = perfsim.Simulate(cand.Chip, g, batch, opt)
+				res, err = perfsim.SimulateCtx(cctx, cand.Chip, g, batch, opt)
 			} else {
-				batch, res, err = perfsim.LatencyLimitedBatch(cand.Chip, g, spec.LatencyBound, opt)
+				batch, res, err = perfsim.LatencyLimitedBatchCtx(cctx, cand.Chip, g, spec.LatencyBound, opt)
 			}
 			if err != nil {
+				werr := fmt.Errorf("dse: candidate %s on model %q (%s): %w",
+					cand.Point, g.Name, spec, err)
+				failures = append(failures, werr)
+				mEvalFailures.Inc()
+				slog.WarnContext(cctx, "dse: candidate failed, skipping",
+					"point", cand.Point.String(), "model", g.Name, "err", err)
 				ok = false
 				break
 			}
@@ -276,6 +344,12 @@ func RuntimeStudy(cands []Candidate, models []*graph.Graph, spec BatchSpec, opt 
 			cEffProd *= e.TOPSPerTCO
 			row.Batches = append(row.Batches, batch)
 		}
+		mEvalLatency.Observe(time.Since(evalStart).Seconds())
+		cspan.End()
+		if (i+1)%progressEvery == 0 || i+1 == len(cands) {
+			slog.DebugContext(ctx, "dse: runtime study progress",
+				"done", i+1, "total", len(cands), "spec", spec.String())
+		}
 		if !ok {
 			continue
 		}
@@ -284,6 +358,10 @@ func RuntimeStudy(cands []Candidate, models []*graph.Graph, spec BatchSpec, opt 
 		row.TOPSPerWatt = math.Pow(wEffProd, inv)
 		row.TOPSPerTCO = math.Pow(cEffProd, inv)
 		rows = append(rows, row)
+	}
+	if len(rows) == 0 && len(failures) > 0 {
+		return nil, fmt.Errorf("dse: runtime study: all %d candidates failed: %w",
+			len(cands), errors.Join(failures...))
 	}
 	return rows, nil
 }

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -133,6 +134,12 @@ func Fig9(cs Constraints, models []*graph.Graph, batches []int) ([]Fig9Row, map[
 // Fig10 runs the three batch regimes of Fig. 10 over the candidate set:
 // (a) batch 1, (b) 10ms-latency-limited batch, (c) batch 256.
 func Fig10(cands []Candidate, models []*graph.Graph) (map[string][]RuntimeRow, error) {
+	return Fig10Ctx(context.Background(), cands, models)
+}
+
+// Fig10Ctx is Fig10 threading a span context through the three runtime
+// studies (one span each, named after the batch regime).
+func Fig10Ctx(ctx context.Context, cands []Candidate, models []*graph.Graph) (map[string][]RuntimeRow, error) {
 	specs := map[string]BatchSpec{
 		"a-small":  {Fixed: 1},
 		"b-medium": {LatencyBound: 10e-3},
@@ -140,9 +147,9 @@ func Fig10(cands []Candidate, models []*graph.Graph) (map[string][]RuntimeRow, e
 	}
 	out := map[string][]RuntimeRow{}
 	for name, spec := range specs {
-		rows, err := RuntimeStudy(cands, models, spec, perfsim.DefaultOptions())
+		rows, err := RuntimeStudyCtx(ctx, cands, models, spec, perfsim.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("fig10 %s: %w", name, err)
 		}
 		out[name] = rows
 	}

@@ -17,8 +17,18 @@ import (
 	"math"
 
 	"neurometer/internal/circuit"
+	"neurometer/internal/obs"
 	"neurometer/internal/pat"
 	"neurometer/internal/tech"
+)
+
+// Observability: memarray.builds counts Build calls, memarray.evals the
+// candidate organizations the internal optimizer scored — the dominant
+// cost of chip construction, and the first thing to batch or cache when
+// sweeps get slow.
+var (
+	mBuilds = obs.NewCounter("memarray.builds")
+	mEvals  = obs.NewCounter("memarray.evals")
 )
 
 // Config specifies a memory array the way a NeuroMeter user does: high
@@ -87,6 +97,7 @@ const maxBanks = 4096
 
 // Build evaluates (and where requested, optimizes) the array organization.
 func Build(cfg Config) (*Array, error) {
+	mBuilds.Inc()
 	if cfg.CapacityBytes <= 0 {
 		return nil, fmt.Errorf("memarray: capacity must be positive, got %d", cfg.CapacityBytes)
 	}
@@ -183,6 +194,7 @@ func portAreaFactor(cell tech.MemCell, totalPorts int) float64 {
 
 // evaluate computes the PAT of one candidate organization.
 func evaluate(cfg Config, banks, rp, wp int) (*Array, error) {
+	mEvals.Inc()
 	n := cfg.Node
 	totalBits := float64(cfg.CapacityBytes) * 8
 	bankBits := totalBits / float64(banks)

@@ -10,9 +10,13 @@ import (
 	"math"
 
 	"neurometer/internal/circuit"
+	"neurometer/internal/obs"
 	"neurometer/internal/pat"
 	"neurometer/internal/tech"
 )
+
+// mBuilds counts NoC model evaluations in the obs default registry.
+var mBuilds = obs.NewCounter("noc.builds")
 
 // Topology enumerates the supported NoC shapes.
 type Topology int
@@ -75,6 +79,7 @@ type Network struct {
 
 // Build evaluates the NoC.
 func Build(cfg Config) (*Network, error) {
+	mBuilds.Inc()
 	if cfg.Tx <= 0 || cfg.Ty <= 0 {
 		return nil, fmt.Errorf("noc: topology must have positive dimensions, got %dx%d", cfg.Tx, cfg.Ty)
 	}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event ("X" complete event). The format
+// is the trace-event JSON consumed by chrome://tracing and Perfetto
+// (ui.perfetto.dev); timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// snapshotEvents returns a copy of the recorded spans sorted by start time
+// (then by longest duration, so parents precede their children).
+func (t *Tracer) snapshotEvents() []spanEvent {
+	t.mu.Lock()
+	evs := make([]spanEvent, len(t.events))
+	copy(evs, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].startNS != evs[j].startNS {
+			return evs[i].startNS < evs[j].startNS
+		}
+		return evs[i].durNS > evs[j].durNS
+	})
+	return evs
+}
+
+// WriteChromeTrace writes every finished span as Chrome trace-event JSON.
+// Nesting is conveyed by time containment on a track (tid), which both
+// chrome://tracing and Perfetto render as a flame graph.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer")
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, ev := range t.snapshotEvents() {
+		ce := chromeEvent{
+			Name: ev.name,
+			Cat:  "obs",
+			Ph:   "X",
+			Ts:   float64(ev.startNS) / 1e3,
+			Dur:  float64(ev.durNS) / 1e3,
+			Pid:  1,
+			Tid:  ev.track,
+		}
+		if len(ev.attrs) > 0 {
+			ce.Args = map[string]any{}
+			for _, a := range ev.attrs {
+				ce.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// profNode aggregates all spans sharing one ancestry path.
+type profNode struct {
+	name     string
+	count    int64
+	totalNS  int64
+	children map[string]*profNode
+	order    []string // child insertion order (start-time order)
+}
+
+func (n *profNode) child(name string) *profNode {
+	c, ok := n.children[name]
+	if !ok {
+		c = &profNode{name: name, children: map[string]*profNode{}}
+		n.children[name] = c
+		n.order = append(n.order, name)
+	}
+	return c
+}
+
+// Profile renders a top-down text profile: every span path with its call
+// count, cumulative wall time, and self time (cumulative minus children).
+func (t *Tracer) Profile() string {
+	if t == nil {
+		return ""
+	}
+	root := &profNode{children: map[string]*profNode{}}
+	for _, ev := range t.snapshotEvents() {
+		n := root
+		for _, part := range strings.Split(ev.path, "/") {
+			n = n.child(part)
+		}
+		n.count++
+		n.totalNS += ev.durNS
+	}
+	var sb strings.Builder
+	sb.WriteString("== span profile (top-down) ==\n")
+	fmt.Fprintf(&sb, "%-52s %8s %12s %12s\n", "span", "calls", "total", "self")
+	var walk func(n *profNode, depth int)
+	walk = func(n *profNode, depth int) {
+		names := append([]string(nil), n.order...)
+		sort.SliceStable(names, func(i, j int) bool {
+			return n.children[names[i]].totalNS > n.children[names[j]].totalNS
+		})
+		for _, name := range names {
+			c := n.children[name]
+			var childNS int64
+			for _, gc := range c.children {
+				childNS += gc.totalNS
+			}
+			self := c.totalNS - childNS
+			if self < 0 {
+				self = 0
+			}
+			label := strings.Repeat("  ", depth) + c.name
+			fmt.Fprintf(&sb, "%-52s %8d %12s %12s\n",
+				label, c.count, fmtDur(c.totalNS), fmtDur(self))
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return sb.String()
+}
+
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}

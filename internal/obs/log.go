@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// LogHandler is a compact slog.Handler that prefixes each record with the
+// active span's path taken from the record's context, tying log lines to
+// the trace:
+//
+//	15:04:05.000 DEBUG [dse.run/dse.enumerate] progress tried=96 feasible=31
+//
+// Use slog.DebugContext / slog.InfoContext with the span-carrying context
+// so the handler can see the span.
+type LogHandler struct {
+	level  slog.Leveler
+	groups []string
+	attrs  []slog.Attr
+
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+var _ slog.Handler = (*LogHandler)(nil)
+
+// NewLogHandler returns a handler writing to w at the given minimum level
+// (slog.LevelInfo when level is nil).
+func NewLogHandler(w io.Writer, level slog.Leveler) *LogHandler {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	return &LogHandler{w: w, level: level, mu: &sync.Mutex{}}
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level.Level()
+}
+
+// Handle implements slog.Handler.
+func (h *LogHandler) Handle(ctx context.Context, r slog.Record) error {
+	var sb strings.Builder
+	if !r.Time.IsZero() {
+		sb.WriteString(r.Time.Format("15:04:05.000"))
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(r.Level.String())
+	if sp := FromContext(ctx); sp != nil {
+		sb.WriteString(" [")
+		sb.WriteString(sp.Path())
+		sb.WriteByte(']')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(r.Message)
+	prefix := strings.Join(h.groups, ".")
+	for _, a := range h.attrs {
+		writeAttr(&sb, prefix, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		writeAttr(&sb, prefix, a)
+		return true
+	})
+	sb.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, sb.String())
+	return err
+}
+
+func writeAttr(sb *strings.Builder, prefix string, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	key := a.Key
+	if prefix != "" {
+		key = prefix + "." + key
+	}
+	if a.Value.Kind() == slog.KindGroup {
+		for _, g := range a.Value.Group() {
+			writeAttr(sb, key, g)
+		}
+		return
+	}
+	fmt.Fprintf(sb, " %s=%v", key, a.Value.Resolve().Any())
+}
+
+// WithAttrs implements slog.Handler.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h2 := *h
+	h2.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &h2
+}
+
+// WithGroup implements slog.Handler.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	h2 := *h
+	h2.groups = append(append([]string(nil), h.groups...), name)
+	return &h2
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Concurrent increments must not lose updates (run under -race in CI).
+func TestConcurrentCounterIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.concurrent")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestConcurrentHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.hist", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(w * 10)) // 0, 10, 20, 30
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot().Histograms["test.hist"]
+	if s.Count != 4000 {
+		t.Fatalf("count = %d, want 4000", s.Count)
+	}
+	if want := 1000.0*0 + 1000*10 + 1000*20 + 1000*30; s.Sum != want {
+		t.Errorf("sum = %g, want %g", s.Sum, want)
+	}
+	if s.Min != 0 || s.Max != 30 {
+		t.Errorf("min/max = %g/%g, want 0/30", s.Min, s.Max)
+	}
+	// Buckets: <=1: the 1000 zeros; <=10: the 1000 tens; <=100: 20s and 30s.
+	if s.Buckets[0] != 1000 || s.Buckets[1] != 1000 || s.Buckets[2] != 2000 || s.Buckets[3] != 0 {
+		t.Errorf("buckets = %v", s.Buckets)
+	}
+}
+
+func TestGaugeAndRegistryLookupIdempotent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test.gauge")
+	g.Set(3.5)
+	if r.Gauge("test.gauge") != g {
+		t.Error("second lookup returned a different gauge")
+	}
+	if v := g.Value(); v != 3.5 {
+		t.Errorf("gauge = %g", v)
+	}
+	if r.Counter("c") != r.Counter("c") {
+		t.Error("counter lookup not idempotent")
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestSnapshotTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("perfsim.layers_simulated").Add(53)
+	r.Gauge("dse.frontier_size").Set(14)
+	r.Histogram("dse.candidate_eval_seconds", nil).Observe(0.002)
+
+	txt := r.Snapshot().Text()
+	for _, want := range []string{"perfsim.layers_simulated", "53", "dse.frontier_size", "n=1"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text snapshot missing %q:\n%s", want, txt)
+		}
+	}
+
+	raw, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed Snapshot
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	if parsed.Counters["perfsim.layers_simulated"] != 53 {
+		t.Errorf("JSON counters: %v", parsed.Counters)
+	}
+	h := parsed.Histograms["dse.candidate_eval_seconds"]
+	if h.Count != 1 || math.Abs(h.Mean()-0.002) > 1e-12 {
+		t.Errorf("JSON histogram: %+v", h)
+	}
+}
+
+func TestHistogramEmptySnapshotMinMaxZero(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty", nil)
+	s := r.Snapshot().Histograms["empty"]
+	if s.Min != 0 || s.Max != 0 || s.Count != 0 {
+		t.Errorf("empty histogram snapshot: %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty mean: %g", s.Mean())
+	}
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic clock advancing step per call.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	t := start
+	return func() time.Time {
+		cur := t
+		t = t.Add(step)
+		return cur
+	}
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := StartTracing()
+	defer StopTracing()
+
+	ctx := context.Background()
+	ctx, root := Start(ctx, "root")
+	cctx, child1 := Start(ctx, "child1")
+	_, grand := Start(cctx, "grand")
+	grand.End()
+	child1.End()
+	_, child2 := Start(ctx, "child2")
+	child2.End()
+	root.End()
+
+	evs := tr.snapshotEvents()
+	if len(evs) != 4 {
+		t.Fatalf("events: got %d, want 4", len(evs))
+	}
+	// Sorted by start time: root, child1, grand, child2.
+	wantPaths := []string{"root", "root/child1", "root/child1/grand", "root/child2"}
+	for i, want := range wantPaths {
+		if evs[i].path != want {
+			t.Errorf("event %d path = %q, want %q", i, evs[i].path, want)
+		}
+	}
+	// Children share the root's track and are contained in its interval.
+	rootEv := evs[0]
+	for _, ev := range evs[1:] {
+		if ev.track != rootEv.track {
+			t.Errorf("span %q on track %d, root on %d", ev.path, ev.track, rootEv.track)
+		}
+		if ev.startNS < rootEv.startNS ||
+			ev.startNS+ev.durNS > rootEv.startNS+rootEv.durNS {
+			t.Errorf("span %q [%d,+%d] not contained in root [%d,+%d]",
+				ev.path, ev.startNS, ev.durNS, rootEv.startNS, rootEv.durNS)
+		}
+	}
+	// child2 starts after child1 ends (sequential code).
+	c1, c2 := evs[1], evs[3]
+	if c2.startNS < c1.startNS+c1.durNS {
+		t.Errorf("child2 starts at %d before child1 ends at %d", c2.startNS, c1.startNS+c1.durNS)
+	}
+}
+
+func TestDisabledSpansAreNoOps(t *testing.T) {
+	if TracingEnabled() {
+		t.Fatal("tracing unexpectedly enabled at test start")
+	}
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "x")
+	if sp != nil {
+		t.Fatal("disabled Start must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("disabled Start must return ctx unchanged")
+	}
+	// All methods nil-safe.
+	sp.SetStr("k", "v")
+	sp.SetInt("k", 1)
+	sp.SetFloat("k", 1)
+	sp.End()
+	if sp.Name() != "" || sp.Path() != "" {
+		t.Fatal("nil span accessors must return zero values")
+	}
+}
+
+// The span fast path with tracing disabled must not allocate: hot loops
+// (per-layer simulation) run it unconditionally.
+func TestDisabledSpanZeroAlloc(t *testing.T) {
+	if TracingEnabled() {
+		t.Fatal("tracing must be disabled for this test")
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, sp := Start(ctx, "hot")
+		sp.SetStr("mapping", "n-split")
+		sp.SetFloat("cycles", 42)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr := StartTracing()
+	defer StopTracing()
+	epoch := time.Unix(1000, 0)
+	tr.epoch = epoch
+	tr.now = fakeClock(epoch, 100*time.Microsecond)
+
+	ctx, root := Start(context.Background(), "dse.run") // t=0
+	_, child := Start(ctx, "dse.enumerate")             // t=100µs
+	child.SetInt("feasible", 31)
+	child.End() // t=200µs
+	root.End()  // t=300µs
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := `{
+ "traceEvents": [
+  {
+   "name": "dse.run",
+   "cat": "obs",
+   "ph": "X",
+   "ts": 0,
+   "dur": 300,
+   "pid": 1,
+   "tid": 1
+  },
+  {
+   "name": "dse.enumerate",
+   "cat": "obs",
+   "ph": "X",
+   "ts": 100,
+   "dur": 100,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "feasible": 31
+   }
+  }
+ ],
+ "displayTimeUnit": "ms"
+}
+`
+	if got != want {
+		t.Errorf("chrome trace mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// And it must be well-formed JSON with the trace-event envelope.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("traceEvents: %d, want 2", len(parsed.TraceEvents))
+	}
+}
+
+func TestConcurrentRootSpansGetOwnTracks(t *testing.T) {
+	tr := StartTracing()
+	defer StopTracing()
+
+	_, a := Start(context.Background(), "a")
+	_, b := Start(context.Background(), "b") // concurrent with a
+	b.End()
+	_, c := Start(context.Background(), "c") // b's track is free again
+	c.End()
+	a.End()
+
+	tracks := map[string]uint64{}
+	for _, ev := range tr.snapshotEvents() {
+		tracks[ev.name] = ev.track
+	}
+	if tracks["a"] == tracks["b"] {
+		t.Errorf("concurrent roots share track %d", tracks["a"])
+	}
+	if tracks["c"] != tracks["b"] {
+		t.Errorf("track not recycled: c=%d, want %d", tracks["c"], tracks["b"])
+	}
+}
+
+func TestProfileRendersTree(t *testing.T) {
+	tr := StartTracing()
+	defer StopTracing()
+	epoch := time.Unix(0, 0)
+	tr.epoch = epoch
+	tr.now = fakeClock(epoch, time.Millisecond)
+
+	ctx, root := Start(context.Background(), "run")
+	for i := 0; i < 3; i++ {
+		_, sp := Start(ctx, "step")
+		sp.End()
+	}
+	root.End()
+
+	prof := tr.Profile()
+	if !strings.Contains(prof, "run") || !strings.Contains(prof, "  step") {
+		t.Errorf("profile missing indented tree:\n%s", prof)
+	}
+	if !strings.Contains(prof, " 3 ") {
+		t.Errorf("profile missing call count 3:\n%s", prof)
+	}
+}
+
+func TestLogHandlerSpanContext(t *testing.T) {
+	tr := StartTracing()
+	defer StopTracing()
+	_ = tr
+
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(&buf, slog.LevelDebug))
+	ctx, sp := Start(context.Background(), "dse.run")
+	ctx, sp2 := Start(ctx, "dse.enumerate")
+	logger.DebugContext(ctx, "progress", "tried", 96, slog.Group("g", "k", "v"))
+	sp2.End()
+	sp.End()
+
+	line := buf.String()
+	for _, want := range []string{"DEBUG", "[dse.run/dse.enumerate]", "progress", "tried=96", "g.k=v"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestLogHandlerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(&buf, slog.LevelInfo))
+	logger.Debug("hidden")
+	logger.Info("shown")
+	if strings.Contains(buf.String(), "hidden") {
+		t.Error("debug line leaked through info-level handler")
+	}
+	if !strings.Contains(buf.String(), "shown") {
+		t.Error("info line missing")
+	}
+}
+
+func TestEndAfterStopStillRecords(t *testing.T) {
+	StartTracing()
+	_, sp := Start(context.Background(), "late")
+	tr := StopTracing()
+	sp.End()
+	if n := len(tr.snapshotEvents()); n != 1 {
+		t.Fatalf("events after late End: %d, want 1", n)
+	}
+}

@@ -1,23 +1,51 @@
 package perfsim
 
 import (
+	"encoding/csv"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
+// LayersCSVFormatVersion identifies the LayersCSV schema. Bump it whenever
+// layersCSVHeader changes so downstream plotting scripts can detect drift.
+const LayersCSVFormatVersion = 2
+
+// layersCSVHeader is the stable column order of LayersCSV. Append-only:
+// existing columns must not be renamed or reordered within a format
+// version.
+var layersCSVHeader = []string{
+	"layer", "kind", "mapping", "cycles", "compute", "noc", "hbm", "vu", "overhead", "macs",
+}
+
 // LayersCSV renders the per-layer statistics as CSV — the interchange
 // format for plotting scripts and for debugging mapping decisions (which
-// layers went n-split vs m-split, where the NoC or HBM bound).
+// layers went n-split vs m-split, where the NoC or HBM bound). Fields are
+// quoted per RFC 4180 by encoding/csv, so layer names containing commas or
+// quotes round-trip safely.
 func (r *Result) LayersCSV() string {
 	var sb strings.Builder
-	sb.WriteString("layer,kind,mapping,cycles,compute,noc,hbm,vu,overhead,macs\n")
+	w := csv.NewWriter(&sb)
+	w.Write(layersCSVHeader)
 	for _, l := range r.Layers {
-		fmt.Fprintf(&sb, "%s,%s,%s,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n",
-			l.Name, l.Kind, l.Mapping, l.Cycles, l.ComputeCycles, l.NoCCycles,
-			l.HBMCycles, l.VUCycles, l.Overhead, l.MACs)
+		w.Write([]string{
+			l.Name,
+			l.Kind.String(),
+			l.Mapping,
+			cell(l.Cycles),
+			cell(l.ComputeCycles),
+			cell(l.NoCCycles),
+			cell(l.HBMCycles),
+			cell(l.VUCycles),
+			cell(l.Overhead),
+			cell(l.MACs),
+		})
 	}
+	w.Flush()
 	return sb.String()
 }
+
+func cell(v float64) string { return strconv.FormatFloat(v, 'f', 0, 64) }
 
 // Summary renders the headline quantities in one line.
 func (r *Result) Summary() string {

@@ -14,11 +14,21 @@
 package perfsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"neurometer/internal/chip"
 	"neurometer/internal/graph"
+	"neurometer/internal/obs"
+)
+
+// Observability: simulation and per-layer counters feed the obs default
+// registry; spans record per-graph and per-layer wall time when tracing is
+// enabled (no-ops otherwise).
+var (
+	mSimulations = obs.NewCounter("perfsim.simulations")
+	mLayers      = obs.NewCounter("perfsim.layers_simulated")
 )
 
 // Options toggles the software optimizations (Fig. 7's "before/after").
@@ -97,9 +107,20 @@ const (
 
 // Simulate runs one batch of g through c.
 func Simulate(c *chip.Chip, g *graph.Graph, batch int, opt Options) (*Result, error) {
+	return SimulateCtx(context.Background(), c, g, batch, opt)
+}
+
+// SimulateCtx is Simulate with observability: it opens a span per graph
+// (child of any span in ctx) and a child span per layer carrying the
+// mapping decision and cycle breakdown.
+func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, opt Options) (*Result, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("perfsim: batch must be positive, got %d", batch)
 	}
+	ctx, span := obs.Start(ctx, "perfsim.simulate")
+	defer span.End()
+	span.SetStr("graph", g.Name)
+	span.SetInt("batch", int64(batch))
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,6 +164,7 @@ func Simulate(c *chip.Chip, g *graph.Graph, batch int, opt Options) (*Result, er
 	var memRead, memWrite, nocBytes, hbmBytes float64
 
 	for _, l := range g.Layers {
+		_, lspan := obs.Start(ctx, "perfsim.layer")
 		st := LayerStat{Name: l.Name, Kind: l.Kind}
 		macs := float64(l.MACs()) * float64(batch)
 		vops := float64(l.VectorOps()) * float64(batch)
@@ -395,7 +417,14 @@ func Simulate(c *chip.Chip, g *graph.Graph, batch int, opt Options) (*Result, er
 		totalVecOps += vops
 		res.Cycles += st.Cycles
 		res.Layers = append(res.Layers, st)
+		mLayers.Inc()
+		lspan.SetStr("layer", l.Name)
+		lspan.SetStr("mapping", st.Mapping)
+		lspan.SetFloat("cycles", st.Cycles)
+		lspan.SetFloat("macs", st.MACs)
+		lspan.End()
 	}
+	mSimulations.Inc()
 
 	res.TimeSec = res.Cycles / c.ClockHz()
 	res.LatencySec = res.TimeSec
@@ -434,14 +463,20 @@ func offChipGBps(c *chip.Chip) float64 {
 // §III-B.2, with a 10 ms production SLO). It returns the batch and its
 // simulation result; batch 1 is returned even if it misses the bound.
 func LatencyLimitedBatch(c *chip.Chip, g *graph.Graph, latencyBound float64, opt Options) (int, *Result, error) {
+	return LatencyLimitedBatchCtx(context.Background(), c, g, latencyBound, opt)
+}
+
+// LatencyLimitedBatchCtx is LatencyLimitedBatch threading a span context
+// through the underlying simulations.
+func LatencyLimitedBatchCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, latencyBound float64, opt Options) (int, *Result, error) {
 	best, bestRes, err := 1, (*Result)(nil), error(nil)
-	r, err := Simulate(c, g, 1, opt)
+	r, err := SimulateCtx(ctx, c, g, 1, opt)
 	if err != nil {
 		return 0, nil, err
 	}
 	bestRes = r
 	for b := 2; b <= 512; b *= 2 {
-		r, err := Simulate(c, g, b, opt)
+		r, err := SimulateCtx(ctx, c, g, b, opt)
 		if err != nil {
 			return 0, nil, err
 		}

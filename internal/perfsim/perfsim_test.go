@@ -1,11 +1,13 @@
 package perfsim
 
 import (
+	"encoding/csv"
 	"fmt"
 	"strings"
 	"testing"
 
 	"neurometer/internal/chip"
+	"neurometer/internal/graph"
 	"neurometer/internal/maclib"
 	"neurometer/internal/periph"
 	"neurometer/internal/workloads"
@@ -261,6 +263,37 @@ func TestLayersCSVAndSummary(t *testing.T) {
 		if !strings.Contains(r.Summary(), want) {
 			t.Errorf("summary missing %q: %s", want, r.Summary())
 		}
+	}
+}
+
+// Layer names containing CSV metacharacters must round-trip: the writer
+// quotes per RFC 4180 instead of corrupting columns.
+func TestLayersCSVEscaping(t *testing.T) {
+	r := &Result{Layers: []LayerStat{{
+		Name:    `branch2a,3x3 "fused"`,
+		Kind:    graph.Conv2D,
+		Mapping: "n-split",
+		Cycles:  1234,
+	}}}
+	rd := csv.NewReader(strings.NewReader(r.LayersCSV()))
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records: got %d, want header + 1 row", len(recs))
+	}
+	if got := len(recs[0]); got != len(layersCSVHeader) {
+		t.Errorf("header width %d, want %d", got, len(layersCSVHeader))
+	}
+	if recs[1][0] != `branch2a,3x3 "fused"` {
+		t.Errorf("layer name corrupted: %q", recs[1][0])
+	}
+	if recs[1][3] != "1234" {
+		t.Errorf("cycles column: %q", recs[1][3])
+	}
+	if LayersCSVFormatVersion < 2 {
+		t.Errorf("format version must be >= 2 after the encoding/csv migration")
 	}
 }
 

@@ -31,6 +31,8 @@
 package neurometer
 
 import (
+	"context"
+
 	"neurometer/internal/chip"
 	"neurometer/internal/graph"
 	"neurometer/internal/maclib"
@@ -133,6 +135,13 @@ func DefaultSimOptions() SimOptions { return perfsim.DefaultOptions() }
 // utilization and the activity factors for runtime-power analysis.
 func Simulate(c *Chip, g *Graph, batch int, opt SimOptions) (*SimResult, error) {
 	return perfsim.Simulate(c, g, batch, opt)
+}
+
+// SimulateCtx is Simulate with observability: spans started inside the
+// simulator (per graph, per layer) nest under any internal/obs span carried
+// by ctx.
+func SimulateCtx(ctx context.Context, c *Chip, g *Graph, batch int, opt SimOptions) (*SimResult, error) {
+	return perfsim.SimulateCtx(ctx, c, g, batch, opt)
 }
 
 // LatencyLimitedBatch finds the largest power-of-two batch size whose batch
