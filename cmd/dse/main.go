@@ -15,24 +15,50 @@
 //	-cpuprofile f   pprof CPU profile
 //	-memprofile f   pprof heap profile
 //	-v              debug-level progress logging
+//
+// Robustness flags (see the README's Failure model section):
+//
+//	-checkpoint p        record -fig 10 sweep progress at p.<regime>.json
+//	-resume              continue an interrupted sweep from -checkpoint
+//	-candidate-timeout d per-candidate evaluation deadline (e.g. 30s)
+//	-retries n           retry timed-out candidates up to n times
+//
+// SIGINT interrupts a sweep gracefully: in-flight state is flushed to the
+// checkpoint (when armed) and the process exits non-zero with kind=canceled.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"log/slog"
 	"os"
+	"os/signal"
 	"sort"
+	"time"
 
 	"neurometer/internal/dse"
+	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 )
+
+// hardenFlags carries the robustness flag values into run.
+type hardenFlags struct {
+	checkpoint string
+	resume     bool
+	timeout    time.Duration
+	retries    int
+}
 
 func main() {
 	fig := flag.Int("fig", 10, "figure to reproduce: 7, 8, 9 or 10; 0 = ablation studies; -1 = edge-scenario sweep")
 	full := flag.Bool("full", false, "evaluate the full feasible set instead of the frontier")
+	var hf hardenFlags
+	flag.StringVar(&hf.checkpoint, "checkpoint", "", "checkpoint path prefix for the -fig 10 sweep (one file per batch regime)")
+	flag.BoolVar(&hf.resume, "resume", false, "resume from an existing -checkpoint instead of failing on it")
+	flag.DurationVar(&hf.timeout, "candidate-timeout", 0, "per-candidate evaluation deadline (0 = unbounded)")
+	flag.IntVar(&hf.retries, "retries", 0, "retries for retryable (timed-out) candidate failures")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -40,18 +66,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	runErr := run(*fig, *full)
+	// SIGINT cancels the run context; the sweep loops notice it between
+	// candidates (and inside perfsim between layers), flush any armed
+	// checkpoint, and unwind with guard.ErrCanceled.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	runErr := run(ctx, *fig, *full, hf)
+	stopSignals()
 	stop() // flush profiles/trace/metrics before any exit
 	if runErr != nil {
-		slog.Error(runErr.Error())
+		fmt.Fprintf(os.Stderr, "dse: kind=%s: %v\n", guard.Kind(runErr), runErr)
+		if errors.Is(runErr, guard.ErrCanceled) && hf.checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "dse: progress saved; rerun with -resume -checkpoint %s to continue\n", hf.checkpoint)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(fig int, full bool) error {
-	ctx, root := obs.Start(context.Background(), "dse.run")
+func run(ctx context.Context, fig int, full bool, hf hardenFlags) error {
+	ctx, root := obs.Start(ctx, "dse.run")
 	root.SetInt("fig", int64(fig))
 	defer root.End()
+
+	if hf.resume && hf.checkpoint == "" {
+		return guard.Invalid("dse: -resume requires -checkpoint")
+	}
+	if hf.checkpoint != "" && !hf.resume {
+		// Refuse to silently merge with a leftover checkpoint: the user
+		// either resumes it explicitly or removes it.
+		for _, regime := range dse.Fig10Regimes {
+			p := hf.checkpoint + "." + regime + ".json"
+			if _, err := os.Stat(p); err == nil {
+				return guard.Invalid("dse: checkpoint %s already exists; pass -resume to continue it or remove it", p)
+			}
+		}
+	}
 
 	cs := dse.TableI()
 	switch fig {
@@ -112,11 +160,12 @@ func run(fig int, full bool) error {
 		}
 	case 10:
 		cands := dse.SecondRound(candidates(ctx, cs, full), cs.TOPSCap)
-		out, err := dse.Fig10Ctx(ctx, cands, dse.DefaultModels())
+		h := dse.Hardening{CandidateTimeout: hf.timeout, MaxRetries: hf.retries}
+		out, err := dse.Fig10Hardened(ctx, cands, dse.DefaultModels(), h, hf.checkpoint)
 		if err != nil {
 			return err
 		}
-		for _, name := range []string{"a-small", "b-medium", "c-large"} {
+		for _, name := range dse.Fig10Regimes {
 			rows := out[name]
 			fmt.Printf("== Fig 10(%s) ==\n%s", name, dse.FormatRuntimeRows(rows))
 			report := func(label string, f func(dse.RuntimeRow) float64) {

@@ -18,10 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"log/slog"
 	"os"
 
 	"neurometer"
+	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 	"neurometer/internal/refchips"
 )
@@ -108,7 +108,7 @@ func (j jsonConfig) toConfig() (neurometer.Config, error) {
 	for _, p := range j.OffChip {
 		port, ok := kinds[p.Kind]
 		if !ok {
-			return cfg, fmt.Errorf("unknown off_chip kind %q", p.Kind)
+			return cfg, guard.Invalid("unknown off_chip kind %q", p.Kind)
 		}
 		port.GBps, port.Count = p.GBps, p.Count
 		cfg.OffChip = append(cfg.OffChip, port)
@@ -134,7 +134,7 @@ func main() {
 	runErr := run(*configPath, *preset, *workload, *batch, *asJSON, *asERT, *profile)
 	stop() // flush profiles/trace/metrics before any exit
 	if runErr != nil {
-		slog.Error(runErr.Error())
+		fmt.Fprintf(os.Stderr, "neurometer: kind=%s: %v\n", guard.Kind(runErr), runErr)
 		os.Exit(1)
 	}
 }
@@ -154,7 +154,7 @@ func run(configPath, preset, workload string, batch int, asJSON, asERT, profile 
 		case "eyeriss":
 			cfg = refchips.Eyeriss()
 		default:
-			return fmt.Errorf("unknown preset %q", preset)
+			return guard.Invalid("unknown preset %q", preset)
 		}
 	case configPath != "":
 		raw, err := os.ReadFile(configPath)

@@ -6,10 +6,18 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
+	"neurometer/internal/guard"
 	"neurometer/internal/sparse"
 )
+
+// fail prints a structured one-line error (kind from the guard taxonomy)
+// and exits non-zero.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sparsity: kind=%s: %v\n", guard.Kind(err), err)
+	os.Exit(1)
+}
 
 func main() {
 	m := flag.Int("m", 2048, "weight matrix rows (>=1024)")
@@ -28,7 +36,7 @@ func main() {
 				Sparsity: 0.9, Seed: *seed, Distribution: d,
 			})
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			fmt.Printf("  %-9s 8x8=%5.1f%%  32x32=%5.1f%%  vec64=%5.1f%%"+"\n",
 				d, mm.BlockSkipFraction(8)*100, mm.BlockSkipFraction(32)*100,
@@ -40,7 +48,7 @@ func main() {
 	w := sparse.Workload{M: *m, N: *n, K: *k}
 	out, err := sparse.Sweep(w, sparse.DefaultSparsities(), *seed)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	fmt.Printf("Fig 11: sparse-over-dense energy-efficiency gain (SpMV %dx%d, batch %d)\n", *m, *n, *k)
 	fmt.Printf("%-9s", "sparsity")

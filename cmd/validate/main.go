@@ -6,10 +6,18 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
+	"neurometer/internal/guard"
 	"neurometer/internal/refchips"
 )
+
+// fail prints a structured one-line error (kind from the guard taxonomy,
+// grep-friendly for CI log scraping) and exits non-zero.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "validate: kind=%s: %v\n", guard.Kind(err), err)
+	os.Exit(1)
+}
 
 func main() {
 	which := flag.String("chip", "all", "chip to validate: tpuv1 | tpuv2 | eyeriss | all")
@@ -18,7 +26,7 @@ func main() {
 	run := func(name string, f func() (refchips.Report, error)) {
 		rep, err := f()
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			fail(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Println(rep)
 	}
@@ -40,6 +48,6 @@ func main() {
 			fmt.Printf("eyeriss PE area: %.4f mm2 (published ~0.05 mm2)\n", pe)
 		}
 	default:
-		log.Fatalf("unknown chip %q", *which)
+		fail(guard.Invalid("unknown chip %q", *which))
 	}
 }

@@ -3,14 +3,14 @@ package cdb
 import (
 	"testing"
 
-	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 const cycle700 = 1e12 / 700e6
 
 func cfg() Config {
 	return Config{
-		Node: tech.MustByNode(28),
+		Node: techtest.MustByNode(28),
 		Endpoints: []Endpoint{
 			{Name: "tu", AreaUM2: 5e6, Bits: 512},
 			{Name: "vu", AreaUM2: 1e6, Bits: 512},

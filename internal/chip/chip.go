@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"neurometer/internal/guard"
 	"neurometer/internal/noc"
 	"neurometer/internal/obs"
 	"neurometer/internal/pat"
@@ -52,18 +53,38 @@ type Chip struct {
 }
 
 // Build constructs and evaluates a chip from the high-level configuration,
-// performing the clock search and budget checks.
-func Build(cfg Config) (*Chip, error) {
+// performing the clock search, budget checks, and a finite-number guard
+// over the headline report metrics (a chip whose area/TDP/peak evaluates
+// to NaN or Inf is rejected with guard.ErrNonFinite rather than leaking
+// into frontiers or CSV output). Panics from the model stack are converted
+// to guard.ErrCandidatePanic errors at this boundary.
+func Build(cfg Config) (c *Chip, err error) {
 	mBuilds.Inc()
-	c, err := build(cfg)
-	if err != nil {
-		mBuildFailures.Inc()
+	defer func() {
+		if err != nil {
+			c = nil
+			mBuildFailures.Inc()
+		}
+	}()
+	defer guard.RecoverTo(&err)
+	if err := guard.Inject(nil, "chip.build"); err != nil {
+		return nil, err
 	}
-	return c, err
+	c, err = build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ferr := guard.CheckFinites(
+		"peak_tops", c.PeakTOPS(), "area_mm2", c.AreaMM2(), "tdp_w", c.TDPW(),
+		"tops_per_w", c.PeakTOPSPerWatt(), "tops_per_tco", c.PeakTOPSPerTCO(),
+	); ferr != nil {
+		return nil, fmt.Errorf("chip %q: %w", cfg.Name, ferr)
+	}
+	return c, nil
 }
 
 func build(cfg Config) (*Chip, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	node, err := tech.ByNode(cfg.TechNM)
@@ -141,10 +162,10 @@ func build(cfg Config) (*Chip, error) {
 
 	// ---- Budgets -----------------------------------------------------------------------
 	if cfg.AreaBudgetMM2 > 0 && c.AreaMM2() > cfg.AreaBudgetMM2 {
-		return nil, fmt.Errorf("chip: area %.1fmm2 exceeds budget %.1fmm2", c.AreaMM2(), cfg.AreaBudgetMM2)
+		return nil, guard.Infeasible("chip: area %.1fmm2 exceeds budget %.1fmm2", c.AreaMM2(), cfg.AreaBudgetMM2)
 	}
 	if cfg.PowerBudgetW > 0 && c.TDPW() > cfg.PowerBudgetW {
-		return nil, fmt.Errorf("chip: TDP %.1fW exceeds budget %.1fW", c.TDPW(), cfg.PowerBudgetW)
+		return nil, guard.Infeasible("chip: TDP %.1fW exceeds budget %.1fW", c.TDPW(), cfg.PowerBudgetW)
 	}
 	return c, nil
 }

@@ -8,8 +8,7 @@
 package chip
 
 import (
-	"fmt"
-
+	"neurometer/internal/guard"
 	"neurometer/internal/maclib"
 	"neurometer/internal/noc"
 	"neurometer/internal/periph"
@@ -154,27 +153,101 @@ func (t NoCTopology) resolve(tiles int) noc.Topology {
 	}
 }
 
-func (c *Config) validate() error {
+// Validate performs field-level validation of the configuration: required
+// fields, positive ranges, and finite-number checks on every float input.
+// All failures wrap guard.ErrInvalidConfig, so sweep drivers can classify
+// a malformed design point without string matching. Build calls it first;
+// it is exported so front ends (JSON configs, DSE generators) can reject
+// bad inputs before paying for a build.
+func (c *Config) Validate() error {
 	if c.TechNM <= 0 {
-		return fmt.Errorf("chip: TechNM required")
+		return guard.Invalid("chip: TechNM required")
+	}
+	if err := guard.CheckFinites(
+		"Vdd", c.Vdd, "ClockHz", c.ClockHz, "TargetTOPS", c.TargetTOPS,
+		"NoCBisectionGBps", c.NoCBisectionGBps,
+		"WhiteSpaceFrac", c.WhiteSpaceFrac,
+		"AreaBudgetMM2", c.AreaBudgetMM2, "PowerBudgetW", c.PowerBudgetW,
+	); err != nil {
+		return guard.Invalid("chip: %v", err)
+	}
+	if c.Vdd < 0 {
+		return guard.Invalid("chip: Vdd must be non-negative, got %g", c.Vdd)
+	}
+	if c.ClockHz < 0 || c.TargetTOPS < 0 {
+		return guard.Invalid("chip: ClockHz/TargetTOPS must be non-negative, got %g/%g",
+			c.ClockHz, c.TargetTOPS)
 	}
 	if c.Tx <= 0 || c.Ty <= 0 {
-		return fmt.Errorf("chip: tile grid must be positive, got %dx%d", c.Tx, c.Ty)
+		return guard.Invalid("chip: tile grid must be positive, got %dx%d", c.Tx, c.Ty)
+	}
+	if tiles := int64(c.Tx) * int64(c.Ty); tiles > maxTiles {
+		return guard.Invalid("chip: %d tiles exceeds the supported maximum %d", tiles, maxTiles)
 	}
 	if c.ClockHz <= 0 && c.TargetTOPS <= 0 {
-		return fmt.Errorf("chip: either ClockHz or TargetTOPS must be set")
+		return guard.Invalid("chip: either ClockHz or TargetTOPS must be set")
+	}
+	if c.NoCBisectionGBps < 0 {
+		return guard.Invalid("chip: NoCBisectionGBps must be non-negative, got %g", c.NoCBisectionGBps)
+	}
+	for i, op := range c.OffChip {
+		if err := guard.CheckFinite("OffChip.GBps", op.GBps); err != nil {
+			return guard.Invalid("chip: off-chip port %d: %v", i, err)
+		}
+		if op.GBps < 0 {
+			return guard.Invalid("chip: off-chip port %d: negative bandwidth %g", i, op.GBps)
+		}
 	}
 	cc := &c.Core
 	hasTU := cc.NumTUs > 0
 	hasRT := cc.NumRTs > 0
 	if !hasTU && !hasRT && cc.VULanes == 0 {
-		return fmt.Errorf("chip: core has no compute units (TUs, RTs or VU lanes)")
+		return guard.Invalid("chip: core has no compute units (TUs, RTs or VU lanes)")
+	}
+	if cc.NumTUs < 0 || cc.NumRTs < 0 || cc.VULanes < 0 {
+		return guard.Invalid("chip: unit counts must be non-negative (TUs=%d RTs=%d VULanes=%d)",
+			cc.NumTUs, cc.NumRTs, cc.VULanes)
 	}
 	if hasTU && (cc.TURows <= 0 || cc.TUCols <= 0) {
-		return fmt.Errorf("chip: TU dimensions required when NumTUs > 0")
+		return guard.Invalid("chip: TU dimensions required when NumTUs > 0")
+	}
+	if hasTU && (cc.TURows > maxTUDim || cc.TUCols > maxTUDim) {
+		return guard.Invalid("chip: TU dimensions %dx%d exceed the supported maximum %d",
+			cc.TURows, cc.TUCols, maxTUDim)
 	}
 	if hasRT && cc.RTInputs <= 0 {
-		return fmt.Errorf("chip: RTInputs required when NumRTs > 0")
+		return guard.Invalid("chip: RTInputs required when NumRTs > 0")
+	}
+	if cc.TULocalSpadBytes < 0 || cc.TULocalRegBytes < 0 {
+		return guard.Invalid("chip: per-cell storage must be non-negative")
+	}
+	for i, seg := range cc.Mem {
+		if err := guard.CheckFinites(
+			"ReadBytesPerCycle", seg.ReadBytesPerCycle,
+			"WriteBytesPerCycle", seg.WriteBytesPerCycle,
+		); err != nil {
+			return guard.Invalid("chip: mem segment %d (%s): %v", i, seg.Name, err)
+		}
+		if seg.CapacityBytes <= 0 {
+			return guard.Invalid("chip: mem segment %d (%s): capacity must be positive, got %d",
+				i, seg.Name, seg.CapacityBytes)
+		}
+		if seg.BlockBytes < 0 || seg.Banks < 0 || seg.ReadPorts < 0 || seg.WritePorts < 0 {
+			return guard.Invalid("chip: mem segment %d (%s): organization fields must be non-negative",
+				i, seg.Name)
+		}
+		if seg.ReadBytesPerCycle < 0 || seg.WriteBytesPerCycle < 0 {
+			return guard.Invalid("chip: mem segment %d (%s): throughput targets must be non-negative",
+				i, seg.Name)
+		}
 	}
 	return nil
 }
+
+// Sweep-sanity bounds: far above anything a feasible chip reaches, but
+// tight enough that a corrupted config fails validation instead of
+// allocating unbounded model state.
+const (
+	maxTiles = 1 << 20
+	maxTUDim = 1 << 14
+)

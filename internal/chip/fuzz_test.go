@@ -1,0 +1,56 @@
+package chip
+
+import (
+	"math"
+	"testing"
+
+	"neurometer/internal/maclib"
+)
+
+// FuzzChipConfig drives arbitrary configurations through Validate and
+// Build: no input may panic, and every successfully built chip must report
+// finite headline metrics. The seed corpus covers the interesting regimes
+// (valid TPU-ish point, clock search, NaN/Inf floats, zero/negative
+// dimensions, huge grids).
+func FuzzChipConfig(f *testing.F) {
+	f.Add(28, 0.9, 700e6, 0.0, 2, 4, 2, 64, 64, int64(4<<20), 256.0, 0.2)
+	f.Add(28, 0.0, 0.0, 45.0, 1, 2, 4, 128, 128, int64(8<<20), 256.0, 0.0)
+	f.Add(65, math.NaN(), 700e6, 0.0, 2, 2, 1, 16, 16, int64(1<<20), 64.0, 0.1)
+	f.Add(28, 0.9, math.Inf(1), 0.0, 2, 4, 2, 64, 64, int64(4<<20), 256.0, 0.2)
+	f.Add(-7, 0.9, 700e6, 0.0, 0, -1, 2, 0, 1<<30, int64(-5), -1.0, 2.0)
+	f.Add(28, 0.9, 700e6, 0.0, 1<<20, 1<<20, 1, 8, 8, int64(1<<20), 16.0, 0.1)
+
+	f.Fuzz(func(t *testing.T, nm int, vdd, clockHz, targetTOPS float64,
+		tx, ty, numTUs, tuRows, tuCols int, memBytes int64, nocGBps, whiteSpace float64) {
+		cfg := Config{
+			Name: "fuzz", TechNM: nm, Vdd: vdd,
+			ClockHz: clockHz, TargetTOPS: targetTOPS,
+			Tx: tx, Ty: ty,
+			Core: CoreConfig{
+				NumTUs: numTUs, TURows: tuRows, TUCols: tuCols,
+				TUDataType: maclib.Int8, HasSU: true,
+				Mem: []MemSegment{{Name: "spad", CapacityBytes: memBytes}},
+			},
+			NoCBisectionGBps: nocGBps,
+			WhiteSpaceFrac:   whiteSpace,
+		}
+		c, err := Build(cfg) // must never panic: Build recovers and classifies
+		if err != nil {
+			return
+		}
+		for name, v := range map[string]float64{
+			"peak":  c.PeakTOPS(),
+			"area":  c.AreaMM2(),
+			"tdp":   c.TDPW(),
+			"topsW": c.PeakTOPSPerWatt(),
+			"topsT": c.PeakTOPSPerTCO(),
+			"leak":  c.LeakageW(),
+			"cycle": c.CyclePS(),
+			"clock": c.ClockHz(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("built chip reports non-finite %s: %g (cfg %+v)", name, v, cfg)
+			}
+		}
+	})
+}

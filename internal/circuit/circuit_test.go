@@ -1,14 +1,17 @@
 package circuit
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"neurometer/internal/guard"
 	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
-var n28 = tech.MustByNode(28)
+var n28 = techtest.MustByNode(28)
 
 func TestWireElmoreMonotonicInLength(t *testing.T) {
 	prev := 0.0
@@ -107,7 +110,10 @@ func TestElmoreChain(t *testing.T) {
 	seg := PiFromWire(n28, tech.WireIntermediate, 0.5)
 	segs := []PiRC{seg, seg, seg}
 	taps := []float64{2, 2, 10}
-	d := ElmoreChainPS(100, segs, taps)
+	d, err := ElmoreChainPS(100, segs, taps)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d <= 0 {
 		t.Fatalf("chain delay: %g", d)
 	}
@@ -119,19 +125,25 @@ func TestElmoreChain(t *testing.T) {
 		t.Errorf("chain with extra taps should not be much faster: chain=%g single=%g", d, single)
 	}
 	// More taps, more delay.
-	d2 := ElmoreChainPS(100, segs, []float64{20, 20, 20})
+	d2, err := ElmoreChainPS(100, segs, []float64{20, 20, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d2 <= d {
 		t.Errorf("heavier taps must slow the chain: %g vs %g", d2, d)
 	}
 }
 
-func TestElmoreChainPanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("expected panic on len mismatch")
-		}
-	}()
-	ElmoreChainPS(100, []PiRC{{}}, nil)
+func TestElmoreChainMismatchIsInvalidConfig(t *testing.T) {
+	// The length mismatch is an error at the API boundary (not a panic),
+	// classified under the guard taxonomy.
+	_, err := ElmoreChainPS(100, []PiRC{{}}, nil)
+	if err == nil {
+		t.Fatalf("expected error on len mismatch")
+	}
+	if !errors.Is(err, guard.ErrInvalidConfig) {
+		t.Errorf("mismatch error must wrap guard.ErrInvalidConfig: %v", err)
+	}
 }
 
 func TestDFFAndRegister(t *testing.T) {
@@ -236,7 +248,7 @@ func TestFIFO(t *testing.T) {
 
 func TestTechNodeOrderingForDelay(t *testing.T) {
 	// The same adder gets faster and smaller on newer nodes.
-	n65 := tech.MustByNode(65)
+	n65 := techtest.MustByNode(65)
 	a65 := Adder{Node: n65, Bits: 32, Kind: AdderPrefix}.Eval()
 	a28 := Adder{Node: n28, Bits: 32, Kind: AdderPrefix}.Eval()
 	if a28.DelayPS >= a65.DelayPS || a28.AreaUM2 >= a65.AreaUM2 || a28.DynPJ >= a65.DynPJ {

@@ -6,9 +6,9 @@
 package circuit
 
 import (
-	"fmt"
 	"math"
 
+	"neurometer/internal/guard"
 	"neurometer/internal/pat"
 	"neurometer/internal/tech"
 )
@@ -176,11 +176,13 @@ func PiFromWire(n tech.Node, layer tech.WireLayer, lengthMM float64) PiRC {
 // ElmoreChainPS computes the Elmore delay (ps) through a chain of pi
 // segments with per-tap load capacitances, driven by driverRes ohms. taps
 // must have the same length as segs; taps[i] (fF) loads the far node of
-// segs[i]. The delay reported is to the far end of the chain.
-func ElmoreChainPS(driverRes float64, segs []PiRC, taps []float64) float64 {
+// segs[i]. The delay reported is to the far end of the chain. A
+// segs/taps length mismatch is an ErrInvalidConfig error at the API
+// boundary, not a panic.
+func ElmoreChainPS(driverRes float64, segs []PiRC, taps []float64) (float64, error) {
 	if len(taps) != len(segs) {
-		panic(fmt.Sprintf("circuit: ElmoreChainPS needs len(taps)=%d == len(segs)=%d",
-			len(taps), len(segs)))
+		return 0, guard.Invalid("circuit: ElmoreChainPS needs len(taps)=%d == len(segs)=%d",
+			len(taps), len(segs))
 	}
 	// Total downstream capacitance seen at each resistor.
 	total := 0.0
@@ -197,5 +199,5 @@ func ElmoreChainPS(driverRes float64, segs []PiRC, taps []float64) float64 {
 		delay += s.ROhm * remaining
 		remaining -= s.CFar + taps[i]
 	}
-	return delay * 1e-15 * 1e12 // ohm*fF -> ps
+	return delay * 1e-15 * 1e12, nil // ohm*fF -> ps
 }

@@ -1,0 +1,183 @@
+package dse
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"neurometer/internal/graph"
+	"neurometer/internal/guard"
+	"neurometer/internal/perfsim"
+)
+
+// Sweep checkpointing: RuntimeStudyHardened records every candidate
+// outcome (row or classified failure) into a versioned JSON file as it
+// completes, so an interrupted sweep — SIGINT, deadline, crash — resumes
+// where it stopped instead of re-simulating hours of candidates. The file
+// is keyed by a study fingerprint (constraints, batch spec, options,
+// workloads, candidate list) so a stale checkpoint from a different study
+// is rejected instead of silently merging wrong results. JSON stores
+// float64 values with round-trip-exact encoding, and the simulator is
+// deterministic, so a resumed study's output is byte-identical to an
+// uninterrupted run's.
+
+// checkpointVersion is bumped whenever the on-disk format changes;
+// OpenCheckpoint rejects files written by other versions.
+const checkpointVersion = 1
+
+type checkpointFailure struct {
+	Kind string `json:"kind"`
+	Msg  string `json:"msg"`
+}
+
+type checkpointFile struct {
+	Version     int                          `json:"version"`
+	Fingerprint string                       `json:"fingerprint"`
+	Rows        map[string]RuntimeRow        `json:"rows"`
+	Failures    map[string]checkpointFailure `json:"failures,omitempty"`
+}
+
+// Checkpoint is an on-disk record of completed candidate evaluations.
+// It is not safe for concurrent use; RuntimeStudyHardened drives it from
+// a single goroutine.
+type Checkpoint struct {
+	path  string
+	file  checkpointFile
+	dirty bool
+}
+
+// StudyFingerprint derives the identity of a runtime study from everything
+// that determines its output. Two studies with the same fingerprint are
+// interchangeable for resume purposes.
+func StudyFingerprint(cands []Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d|spec=%s|opt=%+v|models=", checkpointVersion, spec, opt)
+	for i, g := range models {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(g.Name)
+	}
+	b.WriteString("|points=")
+	for i, c := range cands {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.Point.String())
+	}
+	return b.String()
+}
+
+// OpenCheckpoint loads the checkpoint at path, or starts a fresh one if
+// the file does not exist. A file with the wrong version or a different
+// study fingerprint fails with guard.ErrInvalidConfig — resuming it would
+// silently mix results from different sweeps.
+func OpenCheckpoint(path, fingerprint string) (*Checkpoint, error) {
+	fresh := &Checkpoint{path: path, file: checkpointFile{
+		Version:     checkpointVersion,
+		Fingerprint: fingerprint,
+		Rows:        map[string]RuntimeRow{},
+		Failures:    map[string]checkpointFailure{},
+	}}
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return fresh, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, guard.Invalid("dse: checkpoint %s is not a valid checkpoint: %v", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, guard.Invalid("dse: checkpoint %s has version %d, this build reads version %d",
+			path, f.Version, checkpointVersion)
+	}
+	if f.Fingerprint != fingerprint {
+		return nil, guard.Invalid("dse: checkpoint %s was written by a different study (constraints, batch spec, options or candidate set changed)", path)
+	}
+	if f.Rows == nil {
+		f.Rows = map[string]RuntimeRow{}
+	}
+	if f.Failures == nil {
+		f.Failures = map[string]checkpointFailure{}
+	}
+	return &Checkpoint{path: path, file: f}, nil
+}
+
+// Lookup returns the recorded row for a design point.
+func (c *Checkpoint) Lookup(p Point) (RuntimeRow, bool) {
+	row, ok := c.file.Rows[p.String()]
+	return row, ok
+}
+
+// LookupFailure returns the recorded failure for a design point,
+// reconstructed under the guard taxonomy so errors.Is classification
+// still works after a resume.
+func (c *Checkpoint) LookupFailure(p Point) (error, bool) {
+	f, ok := c.file.Failures[p.String()]
+	if !ok {
+		return nil, false
+	}
+	base := map[string]error{
+		"invalid-config": guard.ErrInvalidConfig,
+		"infeasible":     guard.ErrInfeasible,
+		"non-finite":     guard.ErrNonFinite,
+		"timeout":        guard.ErrTimeout,
+		"canceled":       guard.ErrCanceled,
+		"panic":          guard.ErrCandidatePanic,
+	}[f.Kind]
+	if base == nil {
+		return errors.New(f.Msg), true
+	}
+	return fmt.Errorf("%s: %w", f.Msg, base), true
+}
+
+// Record stores a completed row. Flush persists it.
+func (c *Checkpoint) Record(p Point, row RuntimeRow) {
+	c.file.Rows[p.String()] = row
+	c.dirty = true
+}
+
+// RecordFailure stores a candidate failure by guard kind and message.
+func (c *Checkpoint) RecordFailure(p Point, err error) {
+	c.file.Failures[p.String()] = checkpointFailure{Kind: guard.Kind(err), Msg: err.Error()}
+	c.dirty = true
+}
+
+// Len returns the number of recorded outcomes (rows plus failures).
+func (c *Checkpoint) Len() int {
+	return len(c.file.Rows) + len(c.file.Failures)
+}
+
+// Flush writes the checkpoint atomically (temp file + rename), so a crash
+// mid-write leaves the previous checkpoint intact rather than a truncated
+// JSON file. A clean checkpoint is not rewritten.
+func (c *Checkpoint) Flush() error {
+	if !c.dirty {
+		return nil
+	}
+	b, err := json.MarshalIndent(&c.file, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if dir := filepath.Dir(c.path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("dse: checkpoint: %w", err)
+		}
+	}
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	c.dirty = false
+	return nil
+}

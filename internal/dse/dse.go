@@ -16,6 +16,7 @@ import (
 
 	"neurometer/internal/chip"
 	"neurometer/internal/graph"
+	"neurometer/internal/guard"
 	"neurometer/internal/maclib"
 	"neurometer/internal/obs"
 	"neurometer/internal/perfsim"
@@ -31,6 +32,9 @@ var (
 	mPruned       = obs.NewCounter("dse.candidates_pruned")
 	mFeasible     = obs.NewCounter("dse.candidates_feasible")
 	mEvalFailures = obs.NewCounter("dse.candidate_failures")
+	mEvalRetries  = obs.NewCounter("dse.candidate_retries")
+	mEvalPanics   = obs.NewCounter("dse.candidate_panics")
+	mResumed      = obs.NewCounter("dse.candidates_resumed")
 	mEvalLatency  = obs.NewHistogram("dse.candidate_eval_seconds", nil)
 )
 
@@ -140,16 +144,26 @@ func Enumerate(cs Constraints) []Candidate {
 	return EnumerateCtx(context.Background(), cs)
 }
 
-// EnumerateCtx is Enumerate with observability: a span over the sweep,
-// pruning counters, and debug-level progress logging every few candidates.
+// EnumerateCtx is Enumerate with observability and fault tolerance: a span
+// over the sweep, pruning counters, and debug-level progress logging.
+// chip.Build converts model-stack panics to guard.ErrCandidatePanic, so a
+// single broken design point cannot take down the sweep — it is counted,
+// logged at warn level, and pruned. Cancelling ctx stops the enumeration
+// early; the candidates built so far are returned.
 func EnumerateCtx(ctx context.Context, cs Constraints) []Candidate {
 	ctx, span := obs.Start(ctx, "dse.enumerate")
 	defer span.End()
 	var tried int
 	var out []Candidate
+loop:
 	for _, x := range cs.XChoices {
 		for _, n := range cs.NChoices {
 			for _, g := range gridShapes(cs.MaxTiles) {
+				if guard.CtxErr(ctx) != nil {
+					slog.WarnContext(ctx, "dse: enumerate interrupted",
+						"tried", tried, "feasible", len(out))
+					break loop
+				}
 				p := Point{X: x, N: n, Tx: g[0], Ty: g[1]}
 				tried++
 				mEnumerated.Inc()
@@ -171,7 +185,12 @@ func EnumerateCtx(ctx context.Context, cs Constraints) []Candidate {
 				c, err := chip.Build(cs.Config(p))
 				if err != nil {
 					mPruned.Inc()
-					continue // over budget or timing-infeasible
+					if errors.Is(err, guard.ErrCandidatePanic) {
+						mEvalPanics.Inc()
+						slog.WarnContext(ctx, "dse: candidate build panicked (recovered)",
+							"point", p.String(), "err", err)
+					}
+					continue // over budget, timing-infeasible, or broken
 				}
 				mFeasible.Inc()
 				out = append(out, Candidate{
@@ -188,8 +207,8 @@ func EnumerateCtx(ctx context.Context, cs Constraints) []Candidate {
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
-		if a.PeakTOPS != b.PeakTOPS {
-			return a.PeakTOPS > b.PeakTOPS
+		if c := cmpDesc(a.PeakTOPS, b.PeakTOPS); c != 0 {
+			return c < 0
 		}
 		if a.Point.X != b.Point.X {
 			return a.Point.X > b.Point.X
@@ -200,6 +219,27 @@ func EnumerateCtx(ctx context.Context, cs Constraints) []Candidate {
 	span.SetInt("feasible", int64(len(out)))
 	slog.DebugContext(ctx, "dse: enumerate done", "tried", tried, "feasible", len(out))
 	return out
+}
+
+// cmpDesc orders a before b (negative) when a is larger, with NaN always
+// last. Raw float comparators break sort transitivity in the presence of
+// NaN (every comparison is false), which can scramble an entire sort; this
+// comparator keeps the order total.
+func cmpDesc(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	case a > b:
+		return -1
+	case a < b:
+		return 1
+	}
+	return 0
 }
 
 // Frontier reduces the feasible set to the representative points of
@@ -221,7 +261,8 @@ func Frontier(cands []Candidate, topsCap float64) []Candidate {
 			bin++
 		}
 		k := key{c.Point.X, c.Point.N, bin}
-		if cur, ok := best[k]; !ok || c.PeakTOPSPerTCO > cur.PeakTOPSPerTCO {
+		// cmpDesc keeps a NaN TOPS/TCO from ever displacing a finite one.
+		if cur, ok := best[k]; !ok || cmpDesc(c.PeakTOPSPerTCO, cur.PeakTOPSPerTCO) < 0 {
 			best[k] = c
 		}
 	}
@@ -231,8 +272,8 @@ func Frontier(cands []Candidate, topsCap float64) []Candidate {
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
-		if a.PeakTOPS != b.PeakTOPS {
-			return a.PeakTOPS > b.PeakTOPS
+		if c := cmpDesc(a.PeakTOPS, b.PeakTOPS); c != 0 {
+			return c < 0
 		}
 		if a.Point.X != b.Point.X {
 			return a.Point.X > b.Point.X
@@ -251,6 +292,8 @@ func Frontier(cands []Candidate, topsCap float64) []Candidate {
 func SecondRound(cands []Candidate, topsCap float64) []Candidate {
 	var out []Candidate
 	for _, c := range cands {
+		// A NaN PeakTOPS fails the >= comparison, so corrupted candidates
+		// are dropped here rather than carried into the runtime study.
 		if c.PeakTOPS >= topsCap/12 && c.Point.X >= 8 {
 			out = append(out, c)
 		}
@@ -302,8 +345,42 @@ func RuntimeStudy(cands []Candidate, models []*graph.Graph, spec BatchSpec, opt 
 
 // RuntimeStudyCtx is RuntimeStudy with observability: a span over the
 // study, a child span per candidate (nesting the per-graph simulation
-// spans), an eval-latency histogram, and progress logging.
+// spans), an eval-latency histogram, and progress logging. It runs with no
+// per-candidate deadline, no retries, and no checkpoint; use
+// RuntimeStudyHardened to configure those.
 func RuntimeStudyCtx(ctx context.Context, cands []Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options) ([]RuntimeRow, error) {
+	return RuntimeStudyHardened(ctx, cands, models, spec, opt, Hardening{})
+}
+
+// Hardening configures the fault-tolerance envelope of a runtime study.
+// The zero value means: no per-candidate deadline, no retries, no
+// checkpoint — the historical RuntimeStudy behavior.
+type Hardening struct {
+	// CandidateTimeout bounds each candidate's evaluation across the whole
+	// workload set; 0 = unbounded. An expired deadline fails the candidate
+	// with guard.ErrTimeout.
+	CandidateTimeout time.Duration
+	// MaxRetries re-evaluates a candidate whose failure is retryable
+	// (guard.Retryable — timeouts). Validation errors, infeasibility,
+	// non-finite results, and panics are deterministic and never retried.
+	MaxRetries int
+	// Checkpoint, when non-nil, makes the study resumable: every
+	// candidate outcome (row or failure) is recorded and flushed as it
+	// completes, and already-recorded candidates replay from the
+	// checkpoint instead of re-simulating. Because the simulator is
+	// deterministic and the checkpoint stores exact float64 values, a
+	// resumed study produces byte-identical output to an uninterrupted
+	// one.
+	Checkpoint *Checkpoint
+}
+
+// RuntimeStudyHardened is RuntimeStudyCtx with a configurable robustness
+// envelope. Per candidate it recovers panics (guard.ErrCandidatePanic),
+// enforces the deadline, retries retryable failures, and rejects rows with
+// non-finite aggregates; a canceled sweep ctx stops the loop, flushes the
+// checkpoint, and returns the rows completed so far along with the
+// classified cause (guard.ErrCanceled / guard.ErrTimeout).
+func RuntimeStudyHardened(ctx context.Context, cands []Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options, h Hardening) ([]RuntimeRow, error) {
 	ctx, span := obs.Start(ctx, "dse.runtime-study")
 	defer span.End()
 	span.SetStr("spec", spec.String())
@@ -311,53 +388,73 @@ func RuntimeStudyCtx(ctx context.Context, cands []Candidate, models []*graph.Gra
 	var rows []RuntimeRow
 	var failures []error
 	for i, cand := range cands {
+		if cerr := guard.CtxErr(ctx); cerr != nil {
+			if h.Checkpoint != nil {
+				if ferr := h.Checkpoint.Flush(); ferr != nil {
+					slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
+				}
+			}
+			slog.WarnContext(ctx, "dse: runtime study interrupted",
+				"done", i, "total", len(cands), "err", cerr)
+			return rows, cerr
+		}
+		if h.Checkpoint != nil {
+			if row, ok := h.Checkpoint.Lookup(cand.Point); ok {
+				mResumed.Inc()
+				rows = append(rows, row)
+				continue
+			}
+			if ferr, ok := h.Checkpoint.LookupFailure(cand.Point); ok {
+				mResumed.Inc()
+				failures = append(failures, ferr)
+				continue
+			}
+		}
 		cctx, cspan := obs.Start(ctx, "dse.candidate")
 		cspan.SetStr("point", cand.Point.String())
 		evalStart := time.Now()
-		row := RuntimeRow{Point: cand.Point, PeakTOPS: cand.PeakTOPS}
-		utilProd, wEffProd, cEffProd := 1.0, 1.0, 1.0
-		ok := true
-		for _, g := range models {
-			var res *perfsim.Result
-			var err error
-			batch := spec.Fixed
-			if batch > 0 {
-				res, err = perfsim.SimulateCtx(cctx, cand.Chip, g, batch, opt)
-			} else {
-				batch, res, err = perfsim.LatencyLimitedBatchCtx(cctx, cand.Chip, g, spec.LatencyBound, opt)
-			}
-			if err != nil {
-				werr := fmt.Errorf("dse: candidate %s on model %q (%s): %w",
-					cand.Point, g.Name, spec, err)
-				failures = append(failures, werr)
-				mEvalFailures.Inc()
-				slog.WarnContext(cctx, "dse: candidate failed, skipping",
-					"point", cand.Point.String(), "model", g.Name, "err", err)
-				ok = false
-				break
-			}
-			e := cand.Chip.Efficiency(res.AchievedTOPS*1e12, res.Activity)
-			row.AchievedTOPS += res.AchievedTOPS / float64(len(models))
-			row.PowerW += e.PowerW / float64(len(models))
-			utilProd *= res.Utilization
-			wEffProd *= e.TOPSPerWatt
-			cEffProd *= e.TOPSPerTCO
-			row.Batches = append(row.Batches, batch)
-		}
+		row, err := evalWithRetry(cctx, cand, models, spec, opt, h)
 		mEvalLatency.Observe(time.Since(evalStart).Seconds())
 		cspan.End()
 		if (i+1)%progressEvery == 0 || i+1 == len(cands) {
 			slog.DebugContext(ctx, "dse: runtime study progress",
 				"done", i+1, "total", len(cands), "spec", spec.String())
 		}
-		if !ok {
+		if err != nil {
+			// A canceled sweep ctx surfaces as the candidate's error too;
+			// treat it as an interruption, not a candidate failure.
+			if cerr := guard.CtxErr(ctx); cerr != nil {
+				if h.Checkpoint != nil {
+					if ferr := h.Checkpoint.Flush(); ferr != nil {
+						slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
+					}
+				}
+				slog.WarnContext(ctx, "dse: runtime study interrupted",
+					"done", i, "total", len(cands), "err", cerr)
+				return rows, cerr
+			}
+			failures = append(failures, err)
+			mEvalFailures.Inc()
+			if errors.Is(err, guard.ErrCandidatePanic) {
+				mEvalPanics.Inc()
+			}
+			slog.WarnContext(cctx, "dse: candidate failed, skipping",
+				"point", cand.Point.String(), "kind", guard.Kind(err), "err", err)
+			if h.Checkpoint != nil {
+				h.Checkpoint.RecordFailure(cand.Point, err)
+				if ferr := h.Checkpoint.Flush(); ferr != nil {
+					slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
+				}
+			}
 			continue
 		}
-		inv := 1.0 / float64(len(models))
-		row.Utilization = math.Pow(utilProd, inv)
-		row.TOPSPerWatt = math.Pow(wEffProd, inv)
-		row.TOPSPerTCO = math.Pow(cEffProd, inv)
 		rows = append(rows, row)
+		if h.Checkpoint != nil {
+			h.Checkpoint.Record(cand.Point, row)
+			if ferr := h.Checkpoint.Flush(); ferr != nil {
+				slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
+			}
+		}
 	}
 	if len(rows) == 0 && len(failures) > 0 {
 		return nil, fmt.Errorf("dse: runtime study: all %d candidates failed: %w",
@@ -366,16 +463,96 @@ func RuntimeStudyCtx(ctx context.Context, cands []Candidate, models []*graph.Gra
 	return rows, nil
 }
 
-// Winner returns the row maximizing the metric.
+// evalWithRetry evaluates one candidate under the hardening envelope:
+// deadline per attempt, bounded retry of retryable failures.
+func evalWithRetry(ctx context.Context, cand Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options, h Hardening) (RuntimeRow, error) {
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if h.CandidateTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, h.CandidateTimeout)
+		}
+		row, err := evalCandidate(actx, cand, models, spec, opt)
+		cancel()
+		if err == nil {
+			return row, nil
+		}
+		// Don't burn retries when the sweep itself is shutting down, and
+		// don't retry deterministic failures.
+		if guard.CtxErr(ctx) != nil || !guard.Retryable(err) || attempt >= h.MaxRetries {
+			return RuntimeRow{}, err
+		}
+		mEvalRetries.Inc()
+		slog.DebugContext(ctx, "dse: retrying candidate",
+			"point", cand.Point.String(), "attempt", attempt+1, "err", err)
+	}
+}
+
+// evalCandidate simulates one candidate over the workload set and
+// aggregates its Fig. 10 row. Panics anywhere below are converted to
+// guard.ErrCandidatePanic; the aggregated row is finite-checked before it
+// can reach a frontier or CSV.
+func evalCandidate(ctx context.Context, cand Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options) (row RuntimeRow, err error) {
+	defer guard.RecoverTo(&err)
+	if ierr := guard.Inject(ctx, "dse.candidate"); ierr != nil {
+		return RuntimeRow{}, fmt.Errorf("dse: candidate %s: %w", cand.Point, ierr)
+	}
+	row = RuntimeRow{Point: cand.Point, PeakTOPS: cand.PeakTOPS}
+	utilProd, wEffProd, cEffProd := 1.0, 1.0, 1.0
+	for _, g := range models {
+		var res *perfsim.Result
+		var serr error
+		batch := spec.Fixed
+		if batch > 0 {
+			res, serr = perfsim.SimulateCtx(ctx, cand.Chip, g, batch, opt)
+		} else {
+			batch, res, serr = perfsim.LatencyLimitedBatchCtx(ctx, cand.Chip, g, spec.LatencyBound, opt)
+		}
+		if serr != nil {
+			return RuntimeRow{}, fmt.Errorf("dse: candidate %s on model %q (%s): %w",
+				cand.Point, g.Name, spec, serr)
+		}
+		e := cand.Chip.Efficiency(res.AchievedTOPS*1e12, res.Activity)
+		row.AchievedTOPS += res.AchievedTOPS / float64(len(models))
+		row.PowerW += e.PowerW / float64(len(models))
+		utilProd *= res.Utilization
+		wEffProd *= e.TOPSPerWatt
+		cEffProd *= e.TOPSPerTCO
+		row.Batches = append(row.Batches, batch)
+	}
+	inv := 1.0 / float64(len(models))
+	row.Utilization = math.Pow(utilProd, inv)
+	row.TOPSPerWatt = math.Pow(wEffProd, inv)
+	row.TOPSPerTCO = math.Pow(cEffProd, inv)
+	if ferr := guard.CheckFinites(
+		"achieved_tops", row.AchievedTOPS, "utilization", row.Utilization,
+		"power_w", row.PowerW, "tops_per_w", row.TOPSPerWatt, "tops_per_tco", row.TOPSPerTCO,
+	); ferr != nil {
+		return RuntimeRow{}, fmt.Errorf("dse: candidate %s: %w", cand.Point, ferr)
+	}
+	return row, nil
+}
+
+// Winner returns the row maximizing the metric. Rows whose metric is NaN
+// never win; if no row has a comparable metric the error wraps
+// guard.ErrNonFinite.
 func Winner(rows []RuntimeRow, metric func(RuntimeRow) float64) (RuntimeRow, error) {
 	if len(rows) == 0 {
-		return RuntimeRow{}, fmt.Errorf("dse: no rows")
+		return RuntimeRow{}, guard.Invalid("dse: no rows")
 	}
-	best := rows[0]
-	for _, r := range rows[1:] {
-		if metric(r) > metric(best) {
-			best = r
+	var best RuntimeRow
+	found := false
+	for _, r := range rows {
+		m := metric(r)
+		if math.IsNaN(m) {
+			continue
 		}
+		if !found || m > metric(best) {
+			best, found = r, true
+		}
+	}
+	if !found {
+		return RuntimeRow{}, fmt.Errorf("dse: all %d rows have NaN metrics: %w",
+			len(rows), guard.ErrNonFinite)
 	}
 	return best, nil
 }

@@ -140,14 +140,38 @@ func Fig10(cands []Candidate, models []*graph.Graph) (map[string][]RuntimeRow, e
 // Fig10Ctx is Fig10 threading a span context through the three runtime
 // studies (one span each, named after the batch regime).
 func Fig10Ctx(ctx context.Context, cands []Candidate, models []*graph.Graph) (map[string][]RuntimeRow, error) {
+	return Fig10Hardened(ctx, cands, models, Hardening{}, "")
+}
+
+// Fig10Regimes lists the batch regimes of Fig. 10 in execution order.
+var Fig10Regimes = []string{"a-small", "b-medium", "c-large"}
+
+// Fig10Hardened is Fig10Ctx under a hardening envelope. A non-empty
+// checkpointPath stores one checkpoint per batch regime at
+// <checkpointPath>.<regime>.json; regimes run in Fig10Regimes order so an
+// interrupted run resumes deterministically. h.Checkpoint is ignored (each
+// regime gets its own).
+func Fig10Hardened(ctx context.Context, cands []Candidate, models []*graph.Graph, h Hardening, checkpointPath string) (map[string][]RuntimeRow, error) {
 	specs := map[string]BatchSpec{
 		"a-small":  {Fixed: 1},
 		"b-medium": {LatencyBound: 10e-3},
 		"c-large":  {Fixed: 256},
 	}
+	opt := perfsim.DefaultOptions()
 	out := map[string][]RuntimeRow{}
-	for name, spec := range specs {
-		rows, err := RuntimeStudyCtx(ctx, cands, models, spec, perfsim.DefaultOptions())
+	for _, name := range Fig10Regimes {
+		spec := specs[name]
+		hr := h
+		hr.Checkpoint = nil
+		if checkpointPath != "" {
+			ck, err := OpenCheckpoint(checkpointPath+"."+name+".json",
+				StudyFingerprint(cands, models, spec, opt))
+			if err != nil {
+				return nil, err
+			}
+			hr.Checkpoint = ck
+		}
+		rows, err := RuntimeStudyHardened(ctx, cands, models, spec, opt, hr)
 		if err != nil {
 			return nil, fmt.Errorf("fig10 %s: %w", name, err)
 		}

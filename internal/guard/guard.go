@@ -1,0 +1,208 @@
+// Package guard is NeuroMeter's robustness layer: a typed failure
+// taxonomy shared by every model package, finite-number guards that keep
+// NaN/Inf out of frontiers and reports, panic-to-error recovery for sweep
+// workers, and a deterministic fault-injection facility (inject.go) used
+// by tests to prove every recovery path.
+//
+// The taxonomy is deliberately small. Every error a model entry point
+// returns wraps exactly one of the sentinel errors below, so callers can
+// classify failures with errors.Is and the CLIs can render structured
+// one-line diagnostics with Kind.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"strings"
+
+	"neurometer/internal/obs"
+)
+
+// Observability: recovery-path counters in the obs default registry. Every
+// failure mode the sweeps absorb is visible under the CLIs' -metrics flag.
+var (
+	mPanics    = obs.NewCounter("guard.panics_recovered")
+	mNonFinite = obs.NewCounter("guard.nonfinite_rejected")
+)
+
+// The failure taxonomy. Model packages wrap these with context via the
+// constructor helpers below; callers classify with errors.Is.
+var (
+	// ErrInvalidConfig marks a configuration the model refuses to
+	// evaluate: missing required fields, out-of-range parameters,
+	// non-finite inputs. Never retryable.
+	ErrInvalidConfig = errors.New("invalid config")
+
+	// ErrInfeasible marks a well-formed configuration with no feasible
+	// implementation: timing cannot close, budgets are exceeded, the
+	// memory optimizer finds no organization. Never retryable.
+	ErrInfeasible = errors.New("infeasible")
+
+	// ErrNonFinite marks a model output rejected because it contained
+	// NaN or Inf. Such values must never reach frontiers, winners, or
+	// CSV output. Never retryable.
+	ErrNonFinite = errors.New("non-finite result")
+
+	// ErrTimeout marks an evaluation that exceeded its deadline.
+	// Retryable: sweeps may re-attempt a timed-out candidate under the
+	// bounded-retry policy.
+	ErrTimeout = errors.New("timeout")
+
+	// ErrCanceled marks an evaluation aborted because the whole run was
+	// canceled (SIGINT, parent context). Never retryable: the sweep is
+	// shutting down.
+	ErrCanceled = errors.New("canceled")
+
+	// ErrCandidatePanic marks a panicking evaluation converted to an
+	// error by RecoverTo. Never retryable: panics are deterministic
+	// model bugs, not transient conditions.
+	ErrCandidatePanic = errors.New("candidate panicked")
+)
+
+// Invalid returns an ErrInvalidConfig-wrapping error with a formatted
+// message.
+func Invalid(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, args...))
+}
+
+// Infeasible returns an ErrInfeasible-wrapping error with a formatted
+// message.
+func Infeasible(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInfeasible, fmt.Sprintf(format, args...))
+}
+
+// NonFinite returns an ErrNonFinite-wrapping error naming the offending
+// quantity, and counts the rejection.
+func NonFinite(name string, v float64) error {
+	mNonFinite.Inc()
+	return fmt.Errorf("%w: %s = %v", ErrNonFinite, name, v)
+}
+
+// Classify maps context errors onto the taxonomy: DeadlineExceeded becomes
+// ErrTimeout, Canceled becomes ErrCanceled. Other errors (including nil)
+// pass through unchanged.
+func Classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return err
+}
+
+// CtxErr returns the classified context error, or nil when ctx is live.
+// Model loops call it between units of work so per-candidate deadlines and
+// SIGINT cancellation interrupt long evaluations promptly.
+func CtxErr(ctx context.Context) error {
+	return Classify(context.Cause(ctx))
+}
+
+// Retryable reports whether a failure is worth re-attempting under the
+// sweeps' bounded-retry policy: only timeouts qualify — config, feasibility,
+// non-finite and panic failures are deterministic.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrTimeout)
+}
+
+// Kind names the taxonomy class of err for structured one-line CLI
+// diagnostics ("invalid-config", "infeasible", "non-finite", "timeout",
+// "canceled", "panic") or "error" for errors outside the taxonomy.
+func Kind(err error) string {
+	switch {
+	case errors.Is(err, ErrInvalidConfig):
+		return "invalid-config"
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, ErrNonFinite):
+		return "non-finite"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrCandidatePanic):
+		return "panic"
+	}
+	return "error"
+}
+
+// CheckFinite returns an ErrNonFinite error when v is NaN or ±Inf, nil
+// otherwise. name labels the quantity in the error message.
+func CheckFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return NonFinite(name, v)
+	}
+	return nil
+}
+
+// CheckFinites validates a set of named quantities and reports the first
+// non-finite one. Pairs alternate name, value:
+//
+//	guard.CheckFinites("area_mm2", a, "tdp_w", w)
+func CheckFinites(pairs ...any) error {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		name, _ := pairs[i].(string)
+		v, ok := pairs[i+1].(float64)
+		if !ok {
+			return Invalid("CheckFinites: pair %d is %T, want float64", i/2, pairs[i+1])
+		}
+		if err := CheckFinite(name, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverTo converts an in-flight panic into an ErrCandidatePanic-wrapping
+// error stored in *errp, preserving the panic value and a one-line origin.
+// Use as a deferred call around one unit of sweep work:
+//
+//	func eval(...) (err error) {
+//	    defer guard.RecoverTo(&err)
+//	    ...
+//	}
+//
+// The recovery is counted in the guard.panics_recovered metric. A nil errp
+// converts the panic silently (still counted).
+func RecoverTo(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	mPanics.Inc()
+	if errp != nil {
+		*errp = fmt.Errorf("%w: %v (at %s)", ErrCandidatePanic, r, panicOrigin())
+	}
+}
+
+// panicOrigin extracts the topmost non-runtime frame of the recovered
+// panic's stack for the one-line error message. The stack formats as pairs
+// of "func\n\tfile:line" lines; scanning for the first frame outside
+// runtime and this package is a best-effort nicety — fall back to
+// "unknown" rather than risk a secondary failure.
+func panicOrigin() string {
+	lines := strings.Split(string(debug.Stack()), "\n")
+	for i := 0; i+1 < len(lines); i++ {
+		l := lines[i]
+		if len(l) == 0 || l[0] == '\t' || strings.HasPrefix(l, "goroutine ") {
+			continue
+		}
+		if strings.HasPrefix(l, "panic") || strings.HasPrefix(l, "runtime") ||
+			strings.HasPrefix(l, "neurometer/internal/guard.") {
+			continue
+		}
+		if strings.HasPrefix(lines[i+1], "\t") {
+			if loc, _, ok := strings.Cut(strings.TrimSpace(lines[i+1]), " "); ok {
+				return loc
+			}
+			return strings.TrimSpace(lines[i+1])
+		}
+		return l
+	}
+	return "unknown"
+}

@@ -115,11 +115,15 @@ var addRef = map[DataType]refEntry{
 	FP32:  {areaUM2: 4600, pj: 1.9, fo4: 18},
 }
 
+// anchorRef holds the anchor node's parameters; anchorNode is a static
+// table entry, so the lookup cannot fail (asserted by TestAnchorTabulated).
+var anchorRef, _ = tech.Reference(anchorNode)
+
 // scale transfers a 45nm reference entry to the target node: area by gate
 // density, energy by gate switching energy (which folds in the voltage
 // squared term), delay by FO4.
 func scale(n tech.Node, e refEntry) pat.Result {
-	ref := tech.MustByNode(anchorNode)
+	ref := anchorRef
 	areaRatio := n.GateAreaUM2() / ref.GateAreaUM2()
 	energyRatio := n.GateEnergyFJ / ref.GateEnergyFJ
 	leakPerUM2 := n.GateLeakNW / n.GateAreaUM2() // nW per um^2 of logic

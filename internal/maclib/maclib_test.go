@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 var all = []DataType{Int8, Int16, Int32, BF16, FP16, FP32}
@@ -40,7 +41,7 @@ func TestBitsAndAccum(t *testing.T) {
 
 func TestAllOperatorsValid(t *testing.T) {
 	for _, nm := range tech.Nodes() {
-		n := tech.MustByNode(nm)
+		n := techtest.MustByNode(nm)
 		for _, d := range all {
 			for name, r := range map[string]func() (a, e, dl float64){
 				"mult": func() (float64, float64, float64) {
@@ -66,7 +67,7 @@ func TestAllOperatorsValid(t *testing.T) {
 }
 
 func TestWidthOrdering(t *testing.T) {
-	n := tech.MustByNode(28)
+	n := techtest.MustByNode(28)
 	if !(Mult(n, Int8).AreaUM2 < Mult(n, Int16).AreaUM2 &&
 		Mult(n, Int16).AreaUM2 < Mult(n, Int32).AreaUM2) {
 		t.Errorf("int multiplier area must grow with width")
@@ -85,7 +86,7 @@ func TestWidthOrdering(t *testing.T) {
 }
 
 func TestMACComposition(t *testing.T) {
-	n := tech.MustByNode(28)
+	n := techtest.MustByNode(28)
 	mac := MAC(n, Int8, Int32)
 	m, a := Mult(n, Int8), Add(n, Int32)
 	if mac.AreaUM2 != m.AreaUM2+a.AreaUM2 {
@@ -103,8 +104,8 @@ func TestMACComposition(t *testing.T) {
 
 func TestNodeScalingMakesOpsCheaper(t *testing.T) {
 	for _, d := range all {
-		m65 := Mult(tech.MustByNode(65), d)
-		m16 := Mult(tech.MustByNode(16), d)
+		m65 := Mult(techtest.MustByNode(65), d)
+		m16 := Mult(techtest.MustByNode(16), d)
 		if m16.AreaUM2 >= m65.AreaUM2 || m16.DynPJ >= m65.DynPJ || m16.DelayPS >= m65.DelayPS {
 			t.Errorf("%v mult must improve from 65nm to 16nm", d)
 		}
@@ -114,9 +115,17 @@ func TestNodeScalingMakesOpsCheaper(t *testing.T) {
 func TestInt8MACEnergyBallpark(t *testing.T) {
 	// Calibration anchor: an Int8xInt8 + Int32 MAC at 28nm should cost
 	// roughly 0.1-0.3 pJ (public survey ballpark), before array overheads.
-	n := tech.MustByNode(28)
+	n := techtest.MustByNode(28)
 	mac := MAC(n, Int8, Int32)
 	if mac.DynPJ < 0.1 || mac.DynPJ > 0.6 {
 		t.Errorf("int8 MAC energy out of ballpark: %g pJ", mac.DynPJ)
+	}
+}
+
+func TestAnchorTabulated(t *testing.T) {
+	// scale() anchors on a package-level Reference lookup whose error is
+	// discarded; this pins the invariant that makes that safe.
+	if anchorRef.Nm != anchorNode || anchorRef.GateEnergyFJ <= 0 {
+		t.Fatalf("anchor node %dnm must be a tabulated tech entry, got %+v", anchorNode, anchorRef)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"neurometer/internal/circuit"
+	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 	"neurometer/internal/pat"
 	"neurometer/internal/tech"
@@ -99,16 +100,22 @@ const maxBanks = 4096
 func Build(cfg Config) (*Array, error) {
 	mBuilds.Inc()
 	if cfg.CapacityBytes <= 0 {
-		return nil, fmt.Errorf("memarray: capacity must be positive, got %d", cfg.CapacityBytes)
+		return nil, guard.Invalid("memarray: capacity must be positive, got %d", cfg.CapacityBytes)
 	}
 	if cfg.BlockBytes <= 0 {
-		return nil, fmt.Errorf("memarray: block size must be positive, got %d", cfg.BlockBytes)
+		return nil, guard.Invalid("memarray: block size must be positive, got %d", cfg.BlockBytes)
 	}
 	if int64(cfg.BlockBytes) > cfg.CapacityBytes {
-		return nil, fmt.Errorf("memarray: block (%dB) exceeds capacity (%dB)", cfg.BlockBytes, cfg.CapacityBytes)
+		return nil, guard.Invalid("memarray: block (%dB) exceeds capacity (%dB)", cfg.BlockBytes, cfg.CapacityBytes)
 	}
 	if cfg.CyclePS <= 0 {
-		return nil, fmt.Errorf("memarray: CyclePS must be positive")
+		return nil, guard.Invalid("memarray: CyclePS must be positive")
+	}
+	if err := guard.CheckFinites(
+		"CyclePS", cfg.CyclePS, "ReadBytesPerCycle", cfg.ReadBytesPerCycle,
+		"WriteBytesPerCycle", cfg.WriteBytesPerCycle, "TargetLatencyPS", cfg.TargetLatencyPS,
+	); err != nil {
+		return nil, guard.Invalid("memarray: %v", err)
 	}
 
 	bankChoices := powersOfTwo(1, maxBanks)
@@ -153,7 +160,7 @@ func Build(cfg Config) (*Array, error) {
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("memarray: no feasible organization for %dB (block %dB, need %.1fR+%.1fW B/cyc, latency<=%.0fps)",
+		return nil, guard.Infeasible("memarray: no feasible organization for %dB (block %dB, need %.1fR+%.1fW B/cyc, latency<=%.0fps)",
 			cfg.CapacityBytes, cfg.BlockBytes, cfg.ReadBytesPerCycle, cfg.WriteBytesPerCycle, cfg.TargetLatencyPS)
 	}
 	return best, nil
@@ -248,7 +255,7 @@ func evaluate(cfg Config, banks, rp, wp int) (*Array, error) {
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("memarray: no subarray organization fits")
+		return nil, guard.Infeasible("memarray: no subarray organization fits")
 	}
 	return best.res, nil
 }

@@ -5,13 +5,14 @@ import (
 	"testing/quick"
 
 	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 const cycle700MHz = 1e12 / 700e6
 
 func cfg28(capBytes int64, block int) Config {
 	return Config{
-		Node:          tech.MustByNode(28),
+		Node:          techtest.MustByNode(28),
 		Cell:          tech.CellSRAM,
 		CapacityBytes: capBytes,
 		BlockBytes:    block,
@@ -119,7 +120,7 @@ func TestPortSearchTPUv2Style(t *testing.T) {
 	// TPU-v2's VMem given the throughput requirement. Reproduce the shape:
 	// an 8MiB quad-bank memory that must serve 2 blocks read + 1 written
 	// per cycle needs 2 read ports and 1 write port when banks are fixed=4.
-	n := tech.MustByNode(16)
+	n := techtest.MustByNode(16)
 	cfg := Config{
 		Node: n, Cell: tech.CellSRAM,
 		CapacityBytes: 8 << 20, BlockBytes: 256,
@@ -200,7 +201,7 @@ func TestCellFamilies(t *testing.T) {
 
 func TestNodeScaling(t *testing.T) {
 	c16 := cfg28(4<<20, 64)
-	c16.Node = tech.MustByNode(16)
+	c16.Node = techtest.MustByNode(16)
 	a16, err := Build(c16)
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"neurometer/internal/circuit"
+	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 	"neurometer/internal/pat"
 	"neurometer/internal/tech"
@@ -81,13 +82,18 @@ type Network struct {
 func Build(cfg Config) (*Network, error) {
 	mBuilds.Inc()
 	if cfg.Tx <= 0 || cfg.Ty <= 0 {
-		return nil, fmt.Errorf("noc: topology must have positive dimensions, got %dx%d", cfg.Tx, cfg.Ty)
+		return nil, guard.Invalid("noc: topology must have positive dimensions, got %dx%d", cfg.Tx, cfg.Ty)
 	}
 	if cfg.CyclePS <= 0 {
-		return nil, fmt.Errorf("noc: CyclePS must be positive")
+		return nil, guard.Invalid("noc: CyclePS must be positive")
 	}
 	if cfg.TileMM <= 0 {
-		return nil, fmt.Errorf("noc: TileMM must be positive")
+		return nil, guard.Invalid("noc: TileMM must be positive")
+	}
+	if err := guard.CheckFinites(
+		"CyclePS", cfg.CyclePS, "TileMM", cfg.TileMM, "BisectionGBps", cfg.BisectionGBps,
+	); err != nil {
+		return nil, guard.Invalid("noc: %v", err)
 	}
 	if cfg.ClockHz <= 0 {
 		cfg.ClockHz = 1e12 / cfg.CyclePS
@@ -134,7 +140,7 @@ func Build(cfg Config) (*Network, error) {
 		net.numRouters = maxI(tiles-1, 0)
 		net.numLinks = maxI(2*(tiles-1), 0)
 	default:
-		return nil, fmt.Errorf("noc: unknown topology %v", cfg.Topology)
+		return nil, guard.Invalid("noc: unknown topology %v", cfg.Topology)
 	}
 
 	// ---- Router -------------------------------------------------------------

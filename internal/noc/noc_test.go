@@ -4,14 +4,14 @@ import (
 	"strings"
 	"testing"
 
-	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 const cycle700 = 1e12 / 700e6
 
 func mesh(tx, ty int) Config {
 	return Config{
-		Node: tech.MustByNode(28), Topology: Mesh2D,
+		Node: techtest.MustByNode(28), Topology: Mesh2D,
 		Tx: tx, Ty: ty, TileMM: 3.0,
 		BisectionGBps: 256, CyclePS: cycle700,
 	}

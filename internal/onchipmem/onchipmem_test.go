@@ -4,13 +4,14 @@ import (
 	"testing"
 
 	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 const cycle700 = 1e12 / 700e6
 
 func unified(capBytes int64) Config {
 	return Config{
-		Node: tech.MustByNode(28), Cell: tech.CellSRAM,
+		Node: techtest.MustByNode(28), Cell: tech.CellSRAM,
 		Style:   Scratchpad,
 		CyclePS: cycle700,
 		Segments: []Segment{{
@@ -61,7 +62,7 @@ func TestUnifiedScratchpad(t *testing.T) {
 func TestDedicatedStructure(t *testing.T) {
 	// Eyeriss-style: separate weight/activation/psum segments.
 	cfg := Config{
-		Node: tech.MustByNode(65), Cell: tech.CellSRAM,
+		Node: techtest.MustByNode(65), Cell: tech.CellSRAM,
 		Style:   Scratchpad,
 		CyclePS: 1e12 / 200e6,
 		Segments: []Segment{

@@ -20,6 +20,7 @@ import (
 
 	"neurometer/internal/chip"
 	"neurometer/internal/graph"
+	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 )
 
@@ -110,23 +111,36 @@ func Simulate(c *chip.Chip, g *graph.Graph, batch int, opt Options) (*Result, er
 	return SimulateCtx(context.Background(), c, g, batch, opt)
 }
 
-// SimulateCtx is Simulate with observability: it opens a span per graph
-// (child of any span in ctx) and a child span per layer carrying the
-// mapping decision and cycle breakdown.
-func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, opt Options) (*Result, error) {
+// SimulateCtx is Simulate with observability and robustness: it opens a
+// span per graph (child of any span in ctx) and a child span per layer
+// carrying the mapping decision and cycle breakdown. The ctx deadline is
+// honored between layers (a canceled or expired ctx aborts the simulation
+// with guard.ErrCanceled/ErrTimeout), and the headline result metrics are
+// finite-checked before returning so NaN/Inf never escapes into sweeps.
+func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, opt Options) (res *Result, err error) {
+	defer guard.RecoverTo(&err)
+	if c == nil {
+		return nil, guard.Invalid("perfsim: nil chip")
+	}
+	if g == nil {
+		return nil, guard.Invalid("perfsim: nil graph")
+	}
 	if batch <= 0 {
-		return nil, fmt.Errorf("perfsim: batch must be positive, got %d", batch)
+		return nil, guard.Invalid("perfsim: batch must be positive, got %d", batch)
+	}
+	if err := guard.Inject(ctx, "perfsim.simulate"); err != nil {
+		return nil, err
 	}
 	ctx, span := obs.Start(ctx, "perfsim.simulate")
 	defer span.End()
 	span.SetStr("graph", g.Name)
 	span.SetInt("batch", int64(batch))
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, guard.Invalid("perfsim: %v", err)
 	}
 	core := c.Core
 	if core.TU == nil {
-		return nil, fmt.Errorf("perfsim: chip %q has no tensor units (RT chips use the sparse roofline model)", c.Cfg.Name)
+		return nil, guard.Invalid("perfsim: chip %q has no tensor units (RT chips use the sparse roofline model)", c.Cfg.Name)
 	}
 
 	x := float64(core.Cfg.TUCols)
@@ -152,7 +166,7 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 	}
 	weightsResident := float64(g.Params()) <= memBytes*0.85
 
-	res := &Result{Batch: batch}
+	res = &Result{Batch: batch}
 	act := chip.Activity{ClockGateIdleFrac: 0.5}
 	var totalMACs, totalVecOps float64
 	// streamMACs counts cell-cycles actually clocked through the arrays,
@@ -164,6 +178,15 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 	var memRead, memWrite, nocBytes, hbmBytes float64
 
 	for _, l := range g.Layers {
+		// Deadline check per layer: analytical layers are cheap, so this is
+		// the granularity at which a per-candidate timeout can actually
+		// interrupt a simulation.
+		if err := guard.CtxErr(ctx); err != nil {
+			return nil, err
+		}
+		if err := guard.Inject(ctx, "perfsim.layer"); err != nil {
+			return nil, err
+		}
 		_, lspan := obs.Start(ctx, "perfsim.layer")
 		st := LayerStat{Name: l.Name, Kind: l.Kind}
 		macs := float64(l.MACs()) * float64(batch)
@@ -430,8 +453,14 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 	res.LatencySec = res.TimeSec
 	res.FPS = float64(batch) / res.TimeSec
 	ops := 2 * totalMACs
-	res.AchievedTOPS = ops / res.TimeSec / 1e12
+	res.AchievedTOPS = guard.CorruptFloat("perfsim.achieved_tops", ops/res.TimeSec/1e12)
 	res.Utilization = res.AchievedTOPS / c.PeakTOPS()
+	if ferr := guard.CheckFinites(
+		"cycles", res.Cycles, "time_sec", res.TimeSec, "fps", res.FPS,
+		"achieved_tops", res.AchievedTOPS, "utilization", res.Utilization,
+	); ferr != nil {
+		return nil, fmt.Errorf("perfsim: %s batch %d: %w", g.Name, batch, ferr)
+	}
 
 	// Padded/bubble cell-cycles carry zeros: they burn clock and control
 	// but toggle little datapath (~30% of a live MAC).

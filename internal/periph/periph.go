@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"neurometer/internal/guard"
 	"neurometer/internal/pat"
 	"neurometer/internal/tech"
 )
@@ -80,12 +81,15 @@ var kindParams = map[Kind]params{
 	LPDDRPort: {baseMM2: 1.0, mm2PerGBs: 0.10, pjPerBit: 9, idleFrac: 0.08},
 }
 
+// anchorRef holds the 28nm anchor's parameters; 28 is a static table
+// entry, so the lookup cannot fail (asserted by TestAnchorTabulated).
+var anchorRef, _ = tech.Reference(28)
+
 // analogScale returns the area scale factor relative to the 28nm anchor:
 // analog blocks shrink far more slowly than logic (~sqrt of the density
 // gain).
 func analogScale(n tech.Node) float64 {
-	anchor := tech.MustByNode(28)
-	logic := anchor.GateDensityPerMM2 / n.GateDensityPerMM2
+	logic := anchorRef.GateDensityPerMM2 / n.GateDensityPerMM2
 	return math.Sqrt(logic)
 }
 
@@ -103,15 +107,18 @@ type Port struct {
 func Build(cfg Config) (*Port, error) {
 	p, ok := kindParams[cfg.Kind]
 	if !ok {
-		return nil, fmt.Errorf("periph: unknown kind %v", cfg.Kind)
+		return nil, guard.Invalid("periph: unknown kind %v", cfg.Kind)
 	}
 	if cfg.GBps < 0 {
-		return nil, fmt.Errorf("periph: negative bandwidth %g", cfg.GBps)
+		return nil, guard.Invalid("periph: negative bandwidth %g", cfg.GBps)
+	}
+	if err := guard.CheckFinite("GBps", cfg.GBps); err != nil {
+		return nil, guard.Invalid("periph: %v", err)
 	}
 	scale := analogScale(cfg.Node)
 	if cfg.Kind == DMAEngine {
 		// DMA is digital logic: scale with full density.
-		scale = tech.MustByNode(28).GateDensityPerMM2 / cfg.Node.GateDensityPerMM2
+		scale = anchorRef.GateDensityPerMM2 / cfg.Node.GateDensityPerMM2
 	}
 	areaMM2 := (p.baseMM2 + p.mm2PerGBs*cfg.GBps) * scale
 	peakW := p.pjPerBit * 1e-12 * cfg.GBps * 1e9 * 8

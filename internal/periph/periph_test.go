@@ -3,20 +3,20 @@ package periph
 import (
 	"testing"
 
-	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 func TestBuildValidation(t *testing.T) {
-	if _, err := Build(Config{Node: tech.MustByNode(28), Kind: Kind(99), GBps: 1}); err == nil {
+	if _, err := Build(Config{Node: techtest.MustByNode(28), Kind: Kind(99), GBps: 1}); err == nil {
 		t.Errorf("unknown kind must fail")
 	}
-	if _, err := Build(Config{Node: tech.MustByNode(28), Kind: HBMPort, GBps: -1}); err == nil {
+	if _, err := Build(Config{Node: techtest.MustByNode(28), Kind: HBMPort, GBps: -1}); err == nil {
 		t.Errorf("negative bandwidth must fail")
 	}
 }
 
 func TestTPUv1InterfaceCalibration(t *testing.T) {
-	n := tech.MustByNode(28).WithVdd(0.86)
+	n := techtest.MustByNode(28).WithVdd(0.86)
 	// DDR port at TPU-v1's ~34GB/s: the paper models the DRAM port at
 	// ~6% of a ~300mm2 die -> 15-22 mm2.
 	ddr, err := Build(Config{Node: n, Kind: DDRPort, GBps: 34})
@@ -37,7 +37,7 @@ func TestTPUv1InterfaceCalibration(t *testing.T) {
 }
 
 func TestHBMScale(t *testing.T) {
-	n := tech.MustByNode(16).WithVdd(0.75)
+	n := techtest.MustByNode(16).WithVdd(0.75)
 	hbm, err := Build(Config{Node: n, Kind: HBMPort, GBps: 700})
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestHBMScale(t *testing.T) {
 }
 
 func TestPowerUtilizationInterpolation(t *testing.T) {
-	p, err := Build(Config{Node: tech.MustByNode(28), Kind: ICILink, GBps: 62})
+	p, err := Build(Config{Node: techtest.MustByNode(28), Kind: ICILink, GBps: 62})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,15 +70,15 @@ func TestPowerUtilizationInterpolation(t *testing.T) {
 
 func TestAnalogScalesSlowly(t *testing.T) {
 	// PHYs shrink much more slowly than logic across nodes.
-	a28, err := Build(Config{Node: tech.MustByNode(28), Kind: HBMPort, GBps: 700})
+	a28, err := Build(Config{Node: techtest.MustByNode(28), Kind: HBMPort, GBps: 700})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a16, err := Build(Config{Node: tech.MustByNode(16), Kind: HBMPort, GBps: 700})
+	a16, err := Build(Config{Node: techtest.MustByNode(16), Kind: HBMPort, GBps: 700})
 	if err != nil {
 		t.Fatal(err)
 	}
-	logicShrink := tech.MustByNode(16).GateAreaUM2() / tech.MustByNode(28).GateAreaUM2()
+	logicShrink := techtest.MustByNode(16).GateAreaUM2() / techtest.MustByNode(28).GateAreaUM2()
 	analogShrink := a16.AreaUM2() / a28.AreaUM2()
 	if analogShrink <= logicShrink || analogShrink >= 1 {
 		t.Errorf("analog shrink %.2f should be between logic shrink %.2f and 1", analogShrink, logicShrink)
@@ -86,15 +86,15 @@ func TestAnalogScalesSlowly(t *testing.T) {
 }
 
 func TestDMAIsDigital(t *testing.T) {
-	d28, err := Build(Config{Node: tech.MustByNode(28), Kind: DMAEngine, GBps: 100})
+	d28, err := Build(Config{Node: techtest.MustByNode(28), Kind: DMAEngine, GBps: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d16, err := Build(Config{Node: tech.MustByNode(16), Kind: DMAEngine, GBps: 100})
+	d16, err := Build(Config{Node: techtest.MustByNode(16), Kind: DMAEngine, GBps: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	logicShrink := tech.MustByNode(16).GateAreaUM2() / tech.MustByNode(28).GateAreaUM2()
+	logicShrink := techtest.MustByNode(16).GateAreaUM2() / techtest.MustByNode(28).GateAreaUM2()
 	got := d16.AreaUM2() / d28.AreaUM2()
 	if got > logicShrink*1.05 {
 		t.Errorf("DMA should scale like logic: got %.3f want ~%.3f", got, logicShrink)
@@ -103,7 +103,7 @@ func TestDMAIsDigital(t *testing.T) {
 
 func TestResultAndString(t *testing.T) {
 	for _, k := range []Kind{DDRPort, HBMPort, PCIePort, ICILink, DMAEngine, LPDDRPort} {
-		p, err := Build(Config{Node: tech.MustByNode(28), Kind: k, GBps: 10})
+		p, err := Build(Config{Node: techtest.MustByNode(28), Kind: k, GBps: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +115,7 @@ func TestResultAndString(t *testing.T) {
 		}
 	}
 	// Zero-bandwidth port is legal (stub interface) with zero pJ/B.
-	p, err := Build(Config{Node: tech.MustByNode(28), Kind: PCIePort, GBps: 0})
+	p, err := Build(Config{Node: techtest.MustByNode(28), Kind: PCIePort, GBps: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestResultAndString(t *testing.T) {
 }
 
 func TestLPDDRSmallerThanDDR(t *testing.T) {
-	n := tech.MustByNode(28)
+	n := techtest.MustByNode(28)
 	lp, err := Build(Config{Node: n, Kind: LPDDRPort, GBps: 12.8})
 	if err != nil {
 		t.Fatal(err)
@@ -139,5 +139,13 @@ func TestLPDDRSmallerThanDDR(t *testing.T) {
 	}
 	if lp.IdleW() >= ddr.IdleW() {
 		t.Errorf("LPDDR must idle lower")
+	}
+}
+
+func TestAnchorTabulated(t *testing.T) {
+	// analogScale anchors on a package-level Reference lookup whose error
+	// is discarded; this pins the invariant that makes that safe.
+	if anchorRef.Nm != 28 || anchorRef.GateDensityPerMM2 <= 0 {
+		t.Fatalf("28nm must be a tabulated tech entry, got %+v", anchorRef)
 	}
 }

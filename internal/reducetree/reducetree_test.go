@@ -5,14 +5,14 @@ import (
 	"testing"
 
 	"neurometer/internal/maclib"
-	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 const cycle700 = 1e12 / 700e6
 
 func cfg(inputs int) Config {
 	return Config{
-		Node:    tech.MustByNode(28),
+		Node:    techtest.MustByNode(28),
 		Inputs:  inputs,
 		MulType: maclib.Int8,
 		CyclePS: cycle700,

@@ -3,19 +3,19 @@ package scalarunit
 import (
 	"testing"
 
-	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 const cycle700 = 1e12 / 700e6
 
 func TestBuildValidation(t *testing.T) {
-	if _, err := Build(Config{Node: tech.MustByNode(28)}); err == nil {
+	if _, err := Build(Config{Node: techtest.MustByNode(28)}); err == nil {
 		t.Errorf("zero cycle must fail")
 	}
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	u, err := Build(Config{Node: tech.MustByNode(28), CyclePS: cycle700})
+	u, err := Build(Config{Node: techtest.MustByNode(28), CyclePS: cycle700})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestSimplifiedA9Scale(t *testing.T) {
 	// A simplified A9-class control core at 28nm: area well under 1 mm2
 	// (the full A9 is ~1.5mm2 at 28nm with caches; ours strips the OoO
 	// machinery and branch prediction).
-	u, err := Build(Config{Node: tech.MustByNode(28), CyclePS: cycle700})
+	u, err := Build(Config{Node: techtest.MustByNode(28), CyclePS: cycle700})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,12 +48,12 @@ func TestSimplifiedA9Scale(t *testing.T) {
 }
 
 func TestCustomGateCounts(t *testing.T) {
-	small, err := Build(Config{Node: tech.MustByNode(28), CyclePS: cycle700})
+	small, err := Build(Config{Node: techtest.MustByNode(28), CyclePS: cycle700})
 	if err != nil {
 		t.Fatal(err)
 	}
 	big, err := Build(Config{
-		Node: tech.MustByNode(28), CyclePS: cycle700,
+		Node: techtest.MustByNode(28), CyclePS: cycle700,
 		IFUGates: 200e3, LSUGates: 150e3, ICacheBytes: 64 << 10,
 	})
 	if err != nil {
@@ -65,11 +65,11 @@ func TestCustomGateCounts(t *testing.T) {
 }
 
 func TestNodeScaling(t *testing.T) {
-	a28, err := Build(Config{Node: tech.MustByNode(28), CyclePS: cycle700})
+	a28, err := Build(Config{Node: techtest.MustByNode(28), CyclePS: cycle700})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a65, err := Build(Config{Node: tech.MustByNode(65), CyclePS: 1e12 / 200e6})
+	a65, err := Build(Config{Node: techtest.MustByNode(65), CyclePS: 1e12 / 200e6})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"neurometer/internal/guard"
 )
 
 // WireLayer selects one of the three wiring planes the hierarchical wire
@@ -215,7 +217,7 @@ func ByNode(nm int) (Node, error) {
 	}
 	names := Nodes()
 	if nm < names[0] || nm > names[len(names)-1] {
-		return Node{}, fmt.Errorf("tech: node %dnm outside supported range [%d,%d]",
+		return Node{}, guard.Invalid("tech: node %dnm outside supported range [%d,%d]",
 			nm, names[0], names[len(names)-1])
 	}
 	lo, hi := bracket(names, nm)
@@ -262,20 +264,23 @@ func bracket(sorted []int, nm int) (lo, hi int) {
 	return lo, hi
 }
 
-// MustByNode is ByNode but panics on error; for tests and internal tables.
-func MustByNode(nm int) Node {
-	n, err := ByNode(nm)
-	if err != nil {
-		panic(err)
-	}
-	return n
+// Reference returns the directly tabulated node nm without interpolation.
+// The second result reports whether nm is a table entry. Packages that
+// anchor scaling laws at a fixed tabulated node (maclib at 45nm, periph at
+// 28nm) use it to obtain an infallible constant; everything user-facing
+// goes through ByNode and handles the error.
+func Reference(nm int) (Node, bool) {
+	n, ok := nodes[nm]
+	return n, ok
 }
 
 // WithVdd returns a copy of n operating at supply v (volts). Dynamic energy
 // scales as (v/Vnom)^2, leakage roughly linearly, and delay with a
 // simplified alpha-power law: delay ~ v/(v-Vt)^1.3 with Vt ~= 0.35*Vnom.
+// Non-positive and non-finite supplies are ignored (nominal operation) so a
+// corrupted voltage can never poison the derived parameters with NaN.
 func (n Node) WithVdd(v float64) Node {
-	if v <= 0 {
+	if !(v > 0) || math.IsInf(v, 1) {
 		return n
 	}
 	out := n

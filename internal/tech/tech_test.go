@@ -1,10 +1,23 @@
 package tech
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
+
+	"neurometer/internal/guard"
 )
+
+// mustByNode is the in-package fixture helper (techtest.MustByNode would be
+// an import cycle from here).
+func mustByNode(nm int) Node {
+	n, err := ByNode(nm)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
 
 func TestNodesTabulated(t *testing.T) {
 	want := []int{7, 16, 28, 45, 65}
@@ -49,7 +62,7 @@ func TestInterpolatedNodeBracketsNeighbors(t *testing.T) {
 			t.Fatalf("ByNode(%d): %v", nm, err)
 		}
 		lo, hi := bracketFor(nm)
-		a, b := MustByNode(lo), MustByNode(hi)
+		a, b := mustByNode(lo), mustByNode(hi)
 		checkBetween := func(name string, x, p, q float64) {
 			loV, hiV := math.Min(p, q), math.Max(p, q)
 			if x < loV-1e-9 || x > hiV+1e-9 {
@@ -76,7 +89,7 @@ func bracketFor(nm int) (int, int) {
 func TestScalingMonotonicAcrossNodes(t *testing.T) {
 	names := Nodes() // ascending: 7..65
 	for i := 0; i+1 < len(names); i++ {
-		small, big := MustByNode(names[i]), MustByNode(names[i+1])
+		small, big := mustByNode(names[i]), mustByNode(names[i+1])
 		if small.FO4PS >= big.FO4PS {
 			t.Errorf("FO4 should shrink with node: %d=%g vs %d=%g", small.Nm, small.FO4PS, big.Nm, big.FO4PS)
 		}
@@ -93,7 +106,7 @@ func TestScalingMonotonicAcrossNodes(t *testing.T) {
 }
 
 func TestWithVddScaling(t *testing.T) {
-	n := MustByNode(28)
+	n := mustByNode(28)
 	low := n.WithVdd(0.86)
 	if low.Vdd != 0.86 {
 		t.Fatalf("Vdd = %v", low.Vdd)
@@ -121,7 +134,7 @@ func TestWithVddScaling(t *testing.T) {
 }
 
 func TestWithVddPropertyQuadratic(t *testing.T) {
-	n := MustByNode(16)
+	n := mustByNode(16)
 	f := func(raw uint8) bool {
 		v := 0.5 + float64(raw)/255.0*0.5 // 0.5..1.0 V
 		s := n.WithVdd(v)
@@ -135,7 +148,7 @@ func TestWithVddPropertyQuadratic(t *testing.T) {
 }
 
 func TestCellHelpers(t *testing.T) {
-	n := MustByNode(28)
+	n := mustByNode(28)
 	if n.CellAreaUM2(CellSRAM) != n.SRAMCellUM2 {
 		t.Errorf("sram cell area mismatch")
 	}
@@ -155,7 +168,7 @@ func TestCellHelpers(t *testing.T) {
 }
 
 func TestLogicBlock(t *testing.T) {
-	n := MustByNode(28)
+	n := mustByNode(28)
 	area, dyn, leak := n.LogicBlock(1000, 0.5)
 	if area <= 0 || dyn <= 0 || leak <= 0 {
 		t.Fatalf("LogicBlock: %g %g %g", area, dyn, leak)
@@ -168,7 +181,7 @@ func TestLogicBlock(t *testing.T) {
 
 func TestInvRonPositive(t *testing.T) {
 	for _, nm := range Nodes() {
-		n := MustByNode(nm)
+		n := mustByNode(nm)
 		if n.InvRonOhm() <= 0 {
 			t.Errorf("node %d: InvRon = %g", nm, n.InvRonOhm())
 		}
@@ -179,8 +192,8 @@ func TestInvRonPositive(t *testing.T) {
 }
 
 func TestStringers(t *testing.T) {
-	if MustByNode(28).String() != "28nm@0.90V" {
-		t.Errorf("Node.String: %q", MustByNode(28).String())
+	if mustByNode(28).String() != "28nm@0.90V" {
+		t.Errorf("Node.String: %q", mustByNode(28).String())
 	}
 	for _, w := range []WireLayer{WireLocal, WireIntermediate, WireGlobal} {
 		if w.String() == "" {
@@ -201,7 +214,7 @@ func TestStringers(t *testing.T) {
 }
 
 func TestCellEnergyAndLeakHelpers(t *testing.T) {
-	n := MustByNode(28)
+	n := mustByNode(28)
 	if n.CellReadFJ(CellSRAM) != n.SRAMCellReadFJ {
 		t.Errorf("sram read energy mismatch")
 	}
@@ -232,19 +245,34 @@ func TestCellEnergyAndLeakHelpers(t *testing.T) {
 	}
 }
 
-func TestMustByNodePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("MustByNode(1) must panic")
+func TestByNodeOutOfRangeIsInvalidConfig(t *testing.T) {
+	// The unknown-node failure is an error at the API boundary (not a
+	// panic), classified under the guard taxonomy.
+	for _, nm := range []int{-4, 0, 1, 6, 66, 1000} {
+		_, err := ByNode(nm)
+		if err == nil {
+			t.Fatalf("ByNode(%d) must fail", nm)
 		}
-	}()
-	MustByNode(1)
+		if !errors.Is(err, guard.ErrInvalidConfig) {
+			t.Errorf("ByNode(%d) error must wrap guard.ErrInvalidConfig: %v", nm, err)
+		}
+	}
+}
+
+func TestWithVddRejectsNonFinite(t *testing.T) {
+	n := mustByNode(28)
+	for _, v := range []float64{math.NaN(), math.Inf(1), -1, 0} {
+		got := n.WithVdd(v)
+		if got != n {
+			t.Errorf("WithVdd(%v) must leave the node at nominal", v)
+		}
+	}
 }
 
 func TestDelayFactorNearThresholdClamp(t *testing.T) {
 	// Dropping Vdd toward threshold must slow the node dramatically but
 	// never produce NaN/Inf thanks to the clamp.
-	n := MustByNode(28)
+	n := mustByNode(28)
 	low := n.WithVdd(0.30) // below the 0.35*Vnom clamp region
 	if math.IsNaN(low.FO4PS) || math.IsInf(low.FO4PS, 0) || low.FO4PS <= n.FO4PS {
 		t.Errorf("near-threshold FO4: %g (nominal %g)", low.FO4PS, n.FO4PS)

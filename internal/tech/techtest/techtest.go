@@ -1,0 +1,21 @@
+// Package techtest provides the node-lookup helper tests use to build
+// fixtures in package-level vars and struct literals. Production code must
+// use tech.ByNode and handle the error per the internal/guard taxonomy —
+// this package exists precisely so the panicking convenience form stays
+// out of the library API.
+package techtest
+
+import (
+	"neurometer/internal/tech"
+)
+
+// MustByNode returns the parameters of node nm, panicking on error. Test
+// fixtures only ever name valid constant nodes, so the panic is a fixture
+// bug, not a runtime failure mode.
+func MustByNode(nm int) tech.Node {
+	n, err := tech.ByNode(nm)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

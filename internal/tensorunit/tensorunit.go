@@ -216,7 +216,10 @@ func Build(cfg Config) (*Unit, error) {
 			rowSegs[i] = circuit.PiFromWire(n, tech.WireIntermediate, pitchMM)
 			taps[i] = n.InvCinFF() * 3
 		}
-		busDelay := circuit.ElmoreChainPS(n.InvRonOhm()/16, rowSegs, taps)
+		busDelay, err := circuit.ElmoreChainPS(n.InvRonOhm()/16, rowSegs, taps)
+		if err != nil {
+			return nil, err
+		}
 		rowBus := circuit.Wire{
 			Node: n, Layer: tech.WireIntermediate,
 			LengthMM: pitchMM * float64(cfg.Cols),

@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 
 	"neurometer/internal/maclib"
-	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 const cycle700 = 1e12 / 700e6
@@ -22,7 +22,7 @@ func build(t *testing.T, cfg Config) *Unit {
 
 func tpuStyle(rows, cols int) Config {
 	return Config{
-		Node: tech.MustByNode(28).WithVdd(0.86),
+		Node: techtest.MustByNode(28).WithVdd(0.86),
 		Rows: rows, Cols: cols,
 		MulType: maclib.Int8,
 		CyclePS: cycle700,
@@ -30,10 +30,10 @@ func tpuStyle(rows, cols int) Config {
 }
 
 func TestBuildRejectsBadConfig(t *testing.T) {
-	if _, err := Build(Config{Node: tech.MustByNode(28), Rows: 0, Cols: 8, CyclePS: 1}); err == nil {
+	if _, err := Build(Config{Node: techtest.MustByNode(28), Rows: 0, Cols: 8, CyclePS: 1}); err == nil {
 		t.Errorf("zero rows must fail")
 	}
-	if _, err := Build(Config{Node: tech.MustByNode(28), Rows: 8, Cols: 8}); err == nil {
+	if _, err := Build(Config{Node: techtest.MustByNode(28), Rows: 8, Cols: 8}); err == nil {
 		t.Errorf("zero cycle must fail")
 	}
 }
@@ -104,7 +104,7 @@ func TestDataTypeOrdering(t *testing.T) {
 
 func TestMulticastEyerissStyle(t *testing.T) {
 	cfg := Config{
-		Node: tech.MustByNode(65),
+		Node: techtest.MustByNode(65),
 		Rows: 12, Cols: 14,
 		MulType: maclib.Int16, AccType: maclib.Int32,
 		Interconnect: Multicast, Dataflow: RowStationary,
@@ -120,7 +120,7 @@ func TestMulticastEyerissStyle(t *testing.T) {
 	}
 	// The PE (cell) carries the spad: it must dwarf a bare int16 cell.
 	bare := build(t, Config{
-		Node: tech.MustByNode(65), Rows: 12, Cols: 14,
+		Node: techtest.MustByNode(65), Rows: 12, Cols: 14,
 		MulType: maclib.Int16, AccType: maclib.Int32,
 		Interconnect: Multicast, CyclePS: 1e12 / 200e6,
 	})

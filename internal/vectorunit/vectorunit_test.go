@@ -4,14 +4,14 @@ import (
 	"testing"
 
 	"neurometer/internal/maclib"
-	"neurometer/internal/tech"
+	"neurometer/internal/tech/techtest"
 )
 
 const cycle700 = 1e12 / 700e6
 
 func cfg(lanes int) Config {
 	return Config{
-		Node:     tech.MustByNode(28),
+		Node:     techtest.MustByNode(28),
 		Lanes:    lanes,
 		ElemType: maclib.Int32,
 		CyclePS:  cycle700,

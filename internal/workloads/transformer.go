@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"neurometer/internal/graph"
+	"neurometer/internal/guard"
 )
 
 // TransformerEncoder returns a BERT-base-class encoder stack as a layer
@@ -20,10 +21,10 @@ import (
 // for a 512-token sequence).
 func TransformerEncoder(layers, hidden, heads, seqLen int) (*graph.Graph, error) {
 	if layers <= 0 || hidden <= 0 || heads <= 0 || seqLen <= 0 {
-		return nil, fmt.Errorf("workloads: transformer dims must be positive")
+		return nil, guard.Invalid("workloads: transformer dims must be positive")
 	}
 	if hidden%heads != 0 {
-		return nil, fmt.Errorf("workloads: hidden (%d) must divide by heads (%d)", hidden, heads)
+		return nil, guard.Invalid("workloads: hidden (%d) must divide by heads (%d)", hidden, heads)
 	}
 	headDim := hidden / heads
 	g := &graph.Graph{Name: "transformer"}
@@ -72,12 +73,14 @@ func TransformerEncoder(layers, hidden, heads, seqLen int) (*graph.Graph, error)
 	return g, nil
 }
 
-// BERTBase returns the canonical 12x768x12 encoder at 512 tokens.
-func BERTBase() *graph.Graph {
+// BERTBase returns the canonical 12x768x12 encoder at 512 tokens. The
+// construction error is propagated rather than panicking so callers at the
+// API boundary stay in the guard error model.
+func BERTBase() (*graph.Graph, error) {
 	g, err := TransformerEncoder(12, 768, 12, 512)
 	if err != nil {
-		panic(err) // constants are valid by construction
+		return nil, err
 	}
 	g.Name = "bert-base"
-	return g
+	return g, nil
 }

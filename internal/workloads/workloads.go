@@ -103,7 +103,7 @@ func ByName(name string) (*graph.Graph, error) {
 	case "alexnet":
 		return AlexNet(), nil
 	case "bert", "bert-base", "transformer":
-		return BERTBase(), nil
+		return BERTBase()
 	case "mobilenet", "mobilenet-v1", "mobilenetv1":
 		return MobileNetV1(), nil
 	}

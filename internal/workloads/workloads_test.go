@@ -132,7 +132,10 @@ func TestTransformerEncoder(t *testing.T) {
 	if _, err := TransformerEncoder(12, 768, 11, 512); err == nil {
 		t.Errorf("indivisible heads must fail")
 	}
-	g := BERTBase()
+	g, err := BERTBase()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
