@@ -11,6 +11,8 @@ package neurometer
 // the paper-vs-measured comparison.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"neurometer/internal/cyclesim"
@@ -222,6 +224,30 @@ func BenchmarkFig10RuntimeDSE(b *testing.B) {
 		b.ReportMetric(eff.AchievedTOPS/thr.AchievedTOPS, "ach-ratio(paper-0.84)")
 		b.ReportMetric(eff.TOPSPerTCO/thr.TOPSPerTCO, "tco-gain-x(paper-2.1)")
 		b.ReportMetric(eff.TOPSPerWatt/thr.TOPSPerWatt, "w-gain-x(paper-1.3)")
+	}
+}
+
+// BenchmarkRuntimeStudyWorkers compares the serial and parallel sweep
+// paths on the Fig. 10 second-round candidate set at the fixed batch-8
+// regime. Output is byte-identical across worker counts (pinned by the
+// internal/dse parallel tests); only wall clock differs. The pool only
+// helps when GOMAXPROCS > 1 — on a single-core host run with -cpu 4 (or
+// higher) to see the speedup.
+func BenchmarkRuntimeStudyWorkers(b *testing.B) {
+	cs := dse.TableI()
+	cands := dse.SecondRound(dse.Frontier(dse.Enumerate(cs), cs.TOPSCap), cs.TOPSCap)
+	models := dse.DefaultModels()
+	spec := dse.BatchSpec{Fixed: 8}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := dse.RuntimeStudyHardened(context.Background(), cands, models,
+					spec, perfsim.DefaultOptions(), dse.Hardening{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -23,6 +23,12 @@
 //	-candidate-timeout d per-candidate evaluation deadline (e.g. 30s)
 //	-retries n           retry timed-out candidates up to n times
 //
+// Parallelism and export (see DESIGN.md §9):
+//
+//	-workers n      candidate-evaluation pool size (default GOMAXPROCS;
+//	                1 = serial). Output is byte-identical at any n.
+//	-csv prefix     also write -fig 10 rows to prefix.<regime>.csv
+//
 // SIGINT interrupts a sweep gracefully: in-flight state is flushed to the
 // checkpoint (when armed) and the process exits non-zero with kind=canceled.
 package main
@@ -43,12 +49,14 @@ import (
 	"neurometer/internal/obs"
 )
 
-// hardenFlags carries the robustness flag values into run.
+// hardenFlags carries the robustness and parallelism flag values into run.
 type hardenFlags struct {
 	checkpoint string
 	resume     bool
 	timeout    time.Duration
 	retries    int
+	workers    int
+	csv        string
 }
 
 func main() {
@@ -59,6 +67,8 @@ func main() {
 	flag.BoolVar(&hf.resume, "resume", false, "resume from an existing -checkpoint instead of failing on it")
 	flag.DurationVar(&hf.timeout, "candidate-timeout", 0, "per-candidate evaluation deadline (0 = unbounded)")
 	flag.IntVar(&hf.retries, "retries", 0, "retries for retryable (timed-out) candidate failures")
+	flag.IntVar(&hf.workers, "workers", dse.DefaultWorkers, "candidate-evaluation workers (default GOMAXPROCS; 1 = serial; output is identical at any count)")
+	flag.StringVar(&hf.csv, "csv", "", "also write -fig 10 rows as CSV at <prefix>.<regime>.csv")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -132,7 +142,7 @@ func run(ctx context.Context, fig int, full bool, hf hardenFlags) error {
 			fmt.Printf("%-10s %6d %12.1f %12.1f %6.2fx\n", r.Model, r.Batch, r.FPSBefore, r.FPSAfter, r.Gain())
 		}
 	case 8:
-		cands := candidates(ctx, cs, full)
+		cands := candidates(ctx, cs, full, hf.workers)
 		rows := dse.Fig8(cands)
 		fmt.Printf("%-14s %9s %9s %8s %9s %12s  breakdown (mm2)\n",
 			"point", "peakTOPS", "area", "TDP", "TOPS/W", "TOPS/TCO")
@@ -159,14 +169,20 @@ func run(ctx context.Context, fig int, full bool, hf hardenFlags) error {
 			fmt.Printf("  %-10s %d\n", m, limits[m])
 		}
 	case 10:
-		cands := dse.SecondRound(candidates(ctx, cs, full), cs.TOPSCap)
-		h := dse.Hardening{CandidateTimeout: hf.timeout, MaxRetries: hf.retries}
+		cands := dse.SecondRound(candidates(ctx, cs, full, hf.workers), cs.TOPSCap)
+		h := dse.Hardening{CandidateTimeout: hf.timeout, MaxRetries: hf.retries, Workers: hf.workers}
 		out, err := dse.Fig10Hardened(ctx, cands, dse.DefaultModels(), h, hf.checkpoint)
 		if err != nil {
 			return err
 		}
 		for _, name := range dse.Fig10Regimes {
 			rows := out[name]
+			if hf.csv != "" {
+				p := hf.csv + "." + name + ".csv"
+				if err := os.WriteFile(p, []byte(dse.RuntimeRowsCSV(rows)), 0o644); err != nil {
+					return fmt.Errorf("dse: write csv: %w", err)
+				}
+			}
 			fmt.Printf("== Fig 10(%s) ==\n%s", name, dse.FormatRuntimeRows(rows))
 			report := func(label string, f func(dse.RuntimeRow) float64) {
 				w, err := dse.Winner(rows, f)
@@ -186,8 +202,8 @@ func run(ctx context.Context, fig int, full bool, hf hardenFlags) error {
 	return nil
 }
 
-func candidates(ctx context.Context, cs dse.Constraints, full bool) []dse.Candidate {
-	cands := dse.EnumerateCtx(ctx, cs)
+func candidates(ctx context.Context, cs dse.Constraints, full bool, workers int) []dse.Candidate {
+	cands := dse.EnumerateParallel(ctx, cs, workers)
 	if !full {
 		cands = dse.Frontier(cands, cs.TOPSCap)
 	}

@@ -1,10 +1,3 @@
-// Package chip is NeuroMeter's top-level model: it assembles cores (IFU,
-// LSU, EXU with TU/RT/VU/VReg/CDB, SU) into a many-core accelerator with a
-// NoC, distributed on-chip memory and peripheral interfaces, auto-scales
-// the dependent hardware parameters from the user's high-level
-// configuration, searches the clock for a target TOPS, and reports chip
-// TDP, area and timing with per-component breakdowns — the paper's primary
-// contribution (§II).
 package chip
 
 import (

@@ -1,0 +1,26 @@
+// Package chip is NeuroMeter's top-level model: it assembles cores (IFU,
+// LSU, EXU with TU/RT/VU/VReg/CDB, SU) into a many-core accelerator with a
+// NoC, distributed on-chip memory and peripheral interfaces, auto-scales
+// the dependent hardware parameters from the user's high-level
+// configuration, searches the clock for a target TOPS, and reports chip
+// TDP, area and timing with per-component breakdowns — the paper's primary
+// contribution (§II).
+//
+// # Concurrency contract
+//
+// Build is deterministic and has no side effects beyond its return values;
+// a *Chip is immutable once Build returns, so one instance may be shared
+// freely across goroutines (the dse sweep workers and perfsim rely on
+// this). BuildCached adds a process-wide single-flight memo keyed on
+// Config.Fingerprint — concurrent requests for the same configuration
+// build once and share the result — and is itself safe for concurrent use.
+// The cache is bypassed entirely while any guard fault is armed, so
+// deterministic fault injection always reaches a real Build.
+//
+// # Error contract
+//
+// Build fails with guard.ErrInvalidConfig for configurations it refuses to
+// evaluate and guard.ErrInfeasible for well-formed ones it cannot realize
+// (timing cannot close, budgets exceeded). Both outcomes are deterministic
+// and are memoized by BuildCached alongside successful chips.
+package chip

@@ -1,0 +1,43 @@
+package chip_test
+
+import (
+	"fmt"
+
+	"neurometer/internal/chip"
+	"neurometer/internal/maclib"
+	"neurometer/internal/periph"
+)
+
+// exampleConfig is a small Table I datacenter point: 2x2 cores, two 32x32
+// tensor units per core, 32MB distributed scratchpad, HBM off-chip.
+func exampleConfig() chip.Config {
+	return chip.Config{
+		Name: "example", TechNM: 28, ClockHz: 700e6,
+		Tx: 2, Ty: 2,
+		Core: chip.CoreConfig{
+			NumTUs: 2, TURows: 32, TUCols: 32, TUDataType: maclib.Int8,
+			HasSU: true,
+			Mem:   []chip.MemSegment{{Name: "spad", CapacityBytes: 8 << 20}},
+		},
+		NoCBisectionGBps: 256,
+		OffChip:          []chip.OffChipPort{{Kind: periph.HBMPort, GBps: 700}},
+	}
+}
+
+// BuildCached memoizes Build on the configuration fingerprint: repeated
+// requests for the same config share one immutable *Chip, which is safe to
+// use from any number of goroutines.
+func ExampleBuildCached() {
+	cfg := exampleConfig()
+	a, err := chip.BuildCached(cfg)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	b, _ := chip.BuildCached(cfg)
+	fmt.Println("same instance:", a == b)
+	fmt.Println("same fingerprint:", cfg.Fingerprint() == exampleConfig().Fingerprint())
+	// Output:
+	// same instance: true
+	// same fingerprint: true
+}

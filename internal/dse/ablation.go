@@ -74,7 +74,7 @@ func AblateNoCTopology(cs Constraints) ([]AblationRow, error) {
 		cfg := ablationConfig(cs, Point{X: 32, N: 4, Tx: 4, Ty: 4})
 		cfg.Name = "noc-" + tc.name
 		cfg.NoCTopology = tc.topo
-		c, err := chip.Build(cfg)
+		c, err := chip.BuildCached(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("dse: noc ablation %s: %w", tc.name, err)
 		}
@@ -100,7 +100,7 @@ func AblateMemoryCell(cs Constraints) ([]AblationRow, error) {
 		cfg := ablationConfig(cs, Point{X: 64, N: 2, Tx: 2, Ty: 4})
 		cfg.Name = "mem-" + tc.name
 		cfg.Core.MemCell = tc.cell
-		c, err := chip.Build(cfg)
+		c, err := chip.BuildCached(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("dse: mem ablation %s: %w", tc.name, err)
 		}
@@ -125,7 +125,7 @@ func AblateInterconnect(cs Constraints) ([]AblationRow, error) {
 		cfg := ablationConfig(cs, Point{X: 32, N: 2, Tx: 2, Ty: 2})
 		cfg.Name = "ic-" + tc.name
 		cfg.Core.TUInterconnect = tc.ic
-		c, err := chip.Build(cfg)
+		c, err := chip.BuildCached(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("dse: interconnect ablation %s: %w", tc.name, err)
 		}
@@ -149,7 +149,7 @@ func AblateVRegSharing(cs Constraints) ([]AblationRow, error) {
 		cfg := ablationConfig(cs, Point{X: 16, N: 4, Tx: 2, Ty: 2})
 		cfg.Name = "vreg-" + tc.name
 		cfg.Core.SharedVRegPorts = tc.shared
-		c, err := chip.Build(cfg)
+		c, err := chip.BuildCached(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("dse: vreg ablation %s: %w", tc.name, err)
 		}
@@ -174,7 +174,7 @@ func AblateDataflow(cs Constraints) ([]AblationRow, error) {
 		cfg := ablationConfig(cs, Point{X: 64, N: 2, Tx: 2, Ty: 4})
 		cfg.Name = "df-" + tc.name
 		cfg.Core.TUDataflow = tc.df
-		c, err := chip.Build(cfg)
+		c, err := chip.BuildCached(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("dse: dataflow ablation %s: %w", tc.name, err)
 		}
@@ -200,7 +200,7 @@ func AblateDataType(cs Constraints) ([]AblationRow, error) {
 		cfg := ablationConfig(cs, Point{X: 64, N: 2, Tx: 2, Ty: 4})
 		cfg.Name = "dt-" + tc.name
 		cfg.Core.TUDataType = tc.dt
-		c, err := chip.Build(cfg)
+		c, err := chip.BuildCached(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("dse: datatype ablation %s: %w", tc.name, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"neurometer/internal/graph"
 	"neurometer/internal/guard"
@@ -42,10 +43,16 @@ type checkpointFile struct {
 }
 
 // Checkpoint is an on-disk record of completed candidate evaluations.
-// It is not safe for concurrent use; RuntimeStudyHardened drives it from
-// a single goroutine.
+// All methods are safe for concurrent use: sweep workers record and flush
+// outcomes under one internal mutex, so the atomic temp-file-plus-rename
+// write protocol holds under any worker count and a SIGINT mid-sweep still
+// leaves a valid, resumable file on disk. The serialized outcome maps
+// marshal with sorted keys (encoding/json), making the file bytes
+// independent of completion order.
 type Checkpoint struct {
-	path  string
+	path string
+
+	mu    sync.Mutex
 	file  checkpointFile
 	dirty bool
 }
@@ -112,6 +119,8 @@ func OpenCheckpoint(path, fingerprint string) (*Checkpoint, error) {
 
 // Lookup returns the recorded row for a design point.
 func (c *Checkpoint) Lookup(p Point) (RuntimeRow, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	row, ok := c.file.Rows[p.String()]
 	return row, ok
 }
@@ -120,7 +129,9 @@ func (c *Checkpoint) Lookup(p Point) (RuntimeRow, bool) {
 // reconstructed under the guard taxonomy so errors.Is classification
 // still works after a resume.
 func (c *Checkpoint) LookupFailure(p Point) (error, bool) {
+	c.mu.Lock()
 	f, ok := c.file.Failures[p.String()]
+	c.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
@@ -140,25 +151,36 @@ func (c *Checkpoint) LookupFailure(p Point) (error, bool) {
 
 // Record stores a completed row. Flush persists it.
 func (c *Checkpoint) Record(p Point, row RuntimeRow) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.file.Rows[p.String()] = row
 	c.dirty = true
 }
 
 // RecordFailure stores a candidate failure by guard kind and message.
 func (c *Checkpoint) RecordFailure(p Point, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.file.Failures[p.String()] = checkpointFailure{Kind: guard.Kind(err), Msg: err.Error()}
 	c.dirty = true
 }
 
 // Len returns the number of recorded outcomes (rows plus failures).
 func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.file.Rows) + len(c.file.Failures)
 }
 
 // Flush writes the checkpoint atomically (temp file + rename), so a crash
 // mid-write leaves the previous checkpoint intact rather than a truncated
-// JSON file. A clean checkpoint is not rewritten.
+// JSON file. A clean checkpoint is not rewritten. The whole
+// marshal-write-rename sequence runs under the checkpoint mutex, so
+// concurrent sweep workers serialize their flushes and the on-disk file is
+// always one complete, self-consistent snapshot.
 func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !c.dirty {
 		return nil
 	}

@@ -1,8 +1,3 @@
-// Package dse implements the paper's §III design-space exploration of
-// "Brawny and Wimpy" datacenter inference accelerators: the Table I
-// constraint set, the (X, N, Tx, Ty) sweep with automatic pruning, the
-// chip-level analysis of Fig. 8, and the runtime performance/efficiency
-// study of Figs. 9-10 (paired with the perfsim performance simulator).
 package dse
 
 import (
@@ -12,6 +7,7 @@ import (
 	"log/slog"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"neurometer/internal/chip"
@@ -136,6 +132,20 @@ func gridShapes(maxTiles int) [][2]int {
 	return out
 }
 
+// sweepPoints lists the full (X, N, Tx, Ty) sweep in its deterministic
+// enumeration order — the order candidate indices refer to.
+func (cs Constraints) sweepPoints() []Point {
+	var pts []Point
+	for _, x := range cs.XChoices {
+		for _, n := range cs.NChoices {
+			for _, g := range gridShapes(cs.MaxTiles) {
+				pts = append(pts, Point{X: x, N: n, Tx: g[0], Ty: g[1]})
+			}
+		}
+	}
+	return pts
+}
+
 // Enumerate sweeps the (X, N, Tx, Ty) space, builds every candidate, and
 // prunes the ones that exceed the area/power budgets or the peak-TOPS upper
 // bound (§III-A.1: points beyond the budget or with extremely low
@@ -149,61 +159,69 @@ func Enumerate(cs Constraints) []Candidate {
 // chip.Build converts model-stack panics to guard.ErrCandidatePanic, so a
 // single broken design point cannot take down the sweep — it is counted,
 // logged at warn level, and pruned. Cancelling ctx stops the enumeration
-// early; the candidates built so far are returned.
+// early; the candidates built so far are returned. Evaluation runs on a
+// single worker; use EnumerateParallel to fan out.
 func EnumerateCtx(ctx context.Context, cs Constraints) []Candidate {
+	return EnumerateParallel(ctx, cs, 1)
+}
+
+// EnumerateParallel is EnumerateCtx fanned out across a bounded worker
+// pool (DefaultWorkers = GOMAXPROCS). Builds are memoized through
+// chip.BuildCached — repeated enumerations and the figure drivers'
+// reference points share one build per distinct configuration — and
+// results are collected by sweep index, so the returned candidate list is
+// identical to the serial path's for any worker count.
+func EnumerateParallel(ctx context.Context, cs Constraints, workers int) []Candidate {
 	ctx, span := obs.Start(ctx, "dse.enumerate")
 	defer span.End()
-	var tried int
-	var out []Candidate
-loop:
-	for _, x := range cs.XChoices {
-		for _, n := range cs.NChoices {
-			for _, g := range gridShapes(cs.MaxTiles) {
-				if guard.CtxErr(ctx) != nil {
-					slog.WarnContext(ctx, "dse: enumerate interrupted",
-						"tried", tried, "feasible", len(out))
-					break loop
-				}
-				p := Point{X: x, N: n, Tx: g[0], Ty: g[1]}
-				tried++
-				mEnumerated.Inc()
-				if tried%progressEvery == 0 {
-					slog.DebugContext(ctx, "dse: enumerate progress",
-						"tried", tried, "feasible", len(out))
-				}
-				peak := 2 * float64(x) * float64(x) * float64(n) *
-					float64(p.Tiles()) * cs.ClockHz / 1e12
-				if peak > cs.TOPSCap*1.001 {
-					mPruned.Inc()
-					continue
-				}
-				// Prune extremely low performance points early.
-				if peak < cs.TOPSCap/32 {
-					mPruned.Inc()
-					continue
-				}
-				c, err := chip.Build(cs.Config(p))
-				if err != nil {
-					mPruned.Inc()
-					if errors.Is(err, guard.ErrCandidatePanic) {
-						mEvalPanics.Inc()
-						slog.WarnContext(ctx, "dse: candidate build panicked (recovered)",
-							"point", p.String(), "err", err)
-					}
-					continue // over budget, timing-infeasible, or broken
-				}
-				mFeasible.Inc()
-				out = append(out, Candidate{
-					Point:          p,
-					Chip:           c,
-					PeakTOPS:       c.PeakTOPS(),
-					AreaMM2:        c.AreaMM2(),
-					TDPW:           c.TDPW(),
-					PeakTOPSPerW:   c.PeakTOPSPerWatt(),
-					PeakTOPSPerTCO: c.PeakTOPSPerTCO(),
-				})
-			}
+	span.SetInt("workers", int64(resolveWorkers(workers)))
+	points := cs.sweepPoints()
+	results := make([]*Candidate, len(points))
+	var tried atomic.Int64
+	interrupted := runPool(ctx, len(points), workers, func(i int) {
+		p := points[i]
+		mEnumerated.Inc()
+		if n := tried.Add(1); n%progressEvery == 0 {
+			slog.DebugContext(ctx, "dse: enumerate progress",
+				"tried", n, "total", len(points))
 		}
+		peak := 2 * float64(p.X) * float64(p.X) * float64(p.N) *
+			float64(p.Tiles()) * cs.ClockHz / 1e12
+		// Prune over-cap and extremely low performance points early.
+		if peak > cs.TOPSCap*1.001 || peak < cs.TOPSCap/32 {
+			mPruned.Inc()
+			return
+		}
+		c, err := chip.BuildCached(cs.Config(p))
+		if err != nil {
+			mPruned.Inc()
+			if errors.Is(err, guard.ErrCandidatePanic) {
+				mEvalPanics.Inc()
+				slog.WarnContext(ctx, "dse: candidate build panicked (recovered)",
+					"point", p.String(), "err", err)
+			}
+			return // over budget, timing-infeasible, or broken
+		}
+		mFeasible.Inc()
+		results[i] = &Candidate{
+			Point:          p,
+			Chip:           c,
+			PeakTOPS:       c.PeakTOPS(),
+			AreaMM2:        c.AreaMM2(),
+			TDPW:           c.TDPW(),
+			PeakTOPSPerW:   c.PeakTOPSPerWatt(),
+			PeakTOPSPerTCO: c.PeakTOPSPerTCO(),
+		}
+	})
+	var out []Candidate
+	for _, r := range results {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	if interrupted != nil {
+		slog.WarnContext(ctx, "dse: enumerate interrupted",
+			"tried", tried.Load(), "feasible", len(out), "err", interrupted)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -215,9 +233,9 @@ loop:
 		}
 		return a.Point.Tiles() < b.Point.Tiles()
 	})
-	span.SetInt("tried", int64(tried))
+	span.SetInt("tried", tried.Load())
 	span.SetInt("feasible", int64(len(out)))
-	slog.DebugContext(ctx, "dse: enumerate done", "tried", tried, "feasible", len(out))
+	slog.DebugContext(ctx, "dse: enumerate done", "tried", tried.Load(), "feasible", len(out))
 	return out
 }
 
@@ -372,89 +390,128 @@ type Hardening struct {
 	// resumed study produces byte-identical output to an uninterrupted
 	// one.
 	Checkpoint *Checkpoint
+	// Workers bounds the evaluation pool: <= 1 (and the zero value) runs
+	// candidates serially on the caller's goroutine — the historical
+	// behavior — and DefaultWorkers resolves to GOMAXPROCS. Results are
+	// collected by candidate index, so output is byte-identical across
+	// worker counts.
+	Workers int
+}
+
+// outcome is one candidate's resolved result, held in an index-addressed
+// slice until assembly so output order never depends on completion order.
+type outcome struct {
+	row     RuntimeRow
+	err     error
+	done    bool // evaluated or replayed (false = skipped by cancellation)
+	resumed bool // replayed from the checkpoint
 }
 
 // RuntimeStudyHardened is RuntimeStudyCtx with a configurable robustness
-// envelope. Per candidate it recovers panics (guard.ErrCandidatePanic),
-// enforces the deadline, retries retryable failures, and rejects rows with
-// non-finite aggregates; a canceled sweep ctx stops the loop, flushes the
-// checkpoint, and returns the rows completed so far along with the
-// classified cause (guard.ErrCanceled / guard.ErrTimeout).
+// envelope and an optional worker pool (Hardening.Workers). Per candidate
+// it recovers panics (guard.ErrCandidatePanic), enforces the deadline,
+// retries retryable failures, and rejects rows with non-finite aggregates;
+// a canceled sweep ctx stops new evaluations, lets in-flight workers
+// unwind, flushes the checkpoint, and returns the rows completed so far
+// along with the classified cause (guard.ErrCanceled / guard.ErrTimeout).
+//
+// Determinism: rows and failures are assembled in candidate order whatever
+// the worker count, the checkpoint file serializes its outcome maps with
+// sorted keys, and each candidate's evaluation is single-threaded — so a
+// parallel, a serial, and a resumed run of the same study all emit
+// byte-identical output.
 func RuntimeStudyHardened(ctx context.Context, cands []Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options, h Hardening) ([]RuntimeRow, error) {
 	ctx, span := obs.Start(ctx, "dse.runtime-study")
 	defer span.End()
 	span.SetStr("spec", spec.String())
 	span.SetInt("candidates", int64(len(cands)))
-	var rows []RuntimeRow
-	var failures []error
+	span.SetInt("workers", int64(resolveWorkers(h.Workers)))
+
+	// Replay checkpointed outcomes up front (cheap map lookups); only the
+	// remainder enters the pool.
+	outs := make([]outcome, len(cands))
+	var pending []int
 	for i, cand := range cands {
-		if cerr := guard.CtxErr(ctx); cerr != nil {
-			if h.Checkpoint != nil {
-				if ferr := h.Checkpoint.Flush(); ferr != nil {
-					slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
-				}
-			}
-			slog.WarnContext(ctx, "dse: runtime study interrupted",
-				"done", i, "total", len(cands), "err", cerr)
-			return rows, cerr
-		}
 		if h.Checkpoint != nil {
 			if row, ok := h.Checkpoint.Lookup(cand.Point); ok {
-				mResumed.Inc()
-				rows = append(rows, row)
+				outs[i] = outcome{row: row, done: true, resumed: true}
 				continue
 			}
 			if ferr, ok := h.Checkpoint.LookupFailure(cand.Point); ok {
-				mResumed.Inc()
-				failures = append(failures, ferr)
+				outs[i] = outcome{err: ferr, done: true, resumed: true}
 				continue
 			}
 		}
+		pending = append(pending, i)
+	}
+
+	var completed atomic.Int64
+	poolErr := runPool(ctx, len(pending), h.Workers, func(pi int) {
+		i := pending[pi]
+		cand := cands[i]
 		cctx, cspan := obs.Start(ctx, "dse.candidate")
 		cspan.SetStr("point", cand.Point.String())
 		evalStart := time.Now()
 		row, err := evalWithRetry(cctx, cand, models, spec, opt, h)
 		mEvalLatency.Observe(time.Since(evalStart).Seconds())
 		cspan.End()
-		if (i+1)%progressEvery == 0 || i+1 == len(cands) {
+		if n := completed.Add(1); n%progressEvery == 0 || n == int64(len(pending)) {
 			slog.DebugContext(ctx, "dse: runtime study progress",
-				"done", i+1, "total", len(cands), "spec", spec.String())
+				"done", n, "total", len(pending), "spec", spec.String())
 		}
+		// A canceled sweep ctx surfaces as the candidate's error too;
+		// treat it as an interruption, not a candidate failure — the
+		// candidate stays un-done and re-evaluates on resume.
+		if err != nil && guard.CtxErr(ctx) != nil {
+			return
+		}
+		outs[i] = outcome{row: row, err: err, done: true}
 		if err != nil {
-			// A canceled sweep ctx surfaces as the candidate's error too;
-			// treat it as an interruption, not a candidate failure.
-			if cerr := guard.CtxErr(ctx); cerr != nil {
-				if h.Checkpoint != nil {
-					if ferr := h.Checkpoint.Flush(); ferr != nil {
-						slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
-					}
-				}
-				slog.WarnContext(ctx, "dse: runtime study interrupted",
-					"done", i, "total", len(cands), "err", cerr)
-				return rows, cerr
-			}
-			failures = append(failures, err)
 			mEvalFailures.Inc()
 			if errors.Is(err, guard.ErrCandidatePanic) {
 				mEvalPanics.Inc()
 			}
 			slog.WarnContext(cctx, "dse: candidate failed, skipping",
 				"point", cand.Point.String(), "kind", guard.Kind(err), "err", err)
-			if h.Checkpoint != nil {
-				h.Checkpoint.RecordFailure(cand.Point, err)
-				if ferr := h.Checkpoint.Flush(); ferr != nil {
-					slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
-				}
-			}
-			continue
 		}
-		rows = append(rows, row)
 		if h.Checkpoint != nil {
-			h.Checkpoint.Record(cand.Point, row)
+			if err != nil {
+				h.Checkpoint.RecordFailure(cand.Point, err)
+			} else {
+				h.Checkpoint.Record(cand.Point, row)
+			}
 			if ferr := h.Checkpoint.Flush(); ferr != nil {
 				slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
 			}
 		}
+	})
+
+	// Assemble in candidate order — identical to the serial walk.
+	var rows []RuntimeRow
+	var failures []error
+	for i := range outs {
+		o := &outs[i]
+		if !o.done {
+			continue
+		}
+		if o.resumed {
+			mResumed.Inc()
+		}
+		if o.err != nil {
+			failures = append(failures, o.err)
+			continue
+		}
+		rows = append(rows, o.row)
+	}
+	if poolErr != nil {
+		if h.Checkpoint != nil {
+			if ferr := h.Checkpoint.Flush(); ferr != nil {
+				slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
+			}
+		}
+		slog.WarnContext(ctx, "dse: runtime study interrupted",
+			"done", len(rows), "total", len(cands), "err", poolErr)
+		return rows, poolErr
 	}
 	if len(rows) == 0 && len(failures) > 0 {
 		return nil, fmt.Errorf("dse: runtime study: all %d candidates failed: %w",

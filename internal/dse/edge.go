@@ -95,7 +95,7 @@ func EdgeStudy() ([]EdgeRow, error) {
 				if peak > cs.TOPSCap {
 					continue
 				}
-				c, err := chip.Build(edgeConfig(cs, p))
+				c, err := chip.BuildCached(edgeConfig(cs, p))
 				if err != nil {
 					continue // over budget
 				}

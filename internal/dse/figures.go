@@ -51,7 +51,7 @@ func Fig7(cs Constraints, models []*graph.Graph, batches []int) ([]Fig7Row, erro
 }
 
 func buildPoint(cs Constraints, p Point) (Candidate, error) {
-	c, err := chip.Build(cs.Config(p))
+	c, err := chip.BuildCached(cs.Config(p))
 	if err != nil {
 		return Candidate{}, err
 	}

@@ -1,0 +1,167 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neurometer/internal/guard"
+)
+
+// The determinism contract: every observable sweep artifact — candidate
+// lists, formatted tables, CSV, checkpoint files — must be byte-identical
+// at any worker count. These tests pin that contract; `go test -race`
+// additionally proves the pool itself is race-free.
+
+func TestEnumerateParallelMatchesSerial(t *testing.T) {
+	cs := TableI()
+	serial := EnumerateParallel(context.Background(), cs, 1)
+	par := EnumerateParallel(context.Background(), cs, 8)
+	if len(serial) != len(par) {
+		t.Fatalf("serial found %d candidates, parallel found %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("candidate %d differs: serial %+v, parallel %+v", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestRuntimeStudyParallelByteIdentical(t *testing.T) {
+	cands, spec, opt := studyFixture(t)
+	models := alexnet(t)
+
+	serial, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt, Hardening{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt, Hardening{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatRuntimeRows(serial) != FormatRuntimeRows(par) {
+		t.Fatalf("parallel table differs from serial:\n--- serial\n%s\n--- parallel\n%s",
+			FormatRuntimeRows(serial), FormatRuntimeRows(par))
+	}
+	if RuntimeRowsCSV(serial) != RuntimeRowsCSV(par) {
+		t.Fatalf("parallel CSV differs from serial:\n--- serial\n%s\n--- parallel\n%s",
+			RuntimeRowsCSV(serial), RuntimeRowsCSV(par))
+	}
+}
+
+func TestRuntimeStudyParallelCheckpointBytesMatchSerial(t *testing.T) {
+	cands, spec, opt := studyFixture(t)
+	models := alexnet(t)
+	fp := StudyFingerprint(cands, models, spec, opt)
+	dir := t.TempDir()
+
+	run := func(name string, workers int) []byte {
+		path := filepath.Join(dir, name)
+		ck, err := OpenCheckpoint(path, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt,
+			Hardening{Checkpoint: ck, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	serial := run("serial.ckpt", 1)
+	par := run("parallel.ckpt", 8)
+	if string(serial) != string(par) {
+		t.Fatalf("parallel checkpoint bytes differ from serial:\n--- serial\n%s\n--- parallel\n%s",
+			serial, par)
+	}
+}
+
+func TestParallelCancelResumeMatchesSerial(t *testing.T) {
+	defer guard.DisarmAll()
+	cands, spec, opt := studyFixture(t)
+	models := alexnet(t)
+	fp := StudyFingerprint(cands, models, spec, opt)
+
+	// Reference: one uninterrupted serial run.
+	want, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt, Hardening{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted parallel run: the second candidate to start evaluation
+	// cancels the sweep. Which candidates complete first is scheduling
+	// dependent — that is the point — but the checkpoint on disk must stay
+	// valid and the resumed output must still match the serial reference.
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	ck, err := OpenCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	disarm := guard.Arm("dse.candidate", guard.Fault{Skip: 1, OnHit: cancel})
+	_, err = RuntimeStudyHardened(ctx, cands, models, spec, opt, Hardening{Checkpoint: ck, Workers: 8})
+	disarm()
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("interrupted run must classify as canceled, got %v", err)
+	}
+
+	// Resume in parallel from whatever the interrupted run left behind.
+	ck2, err := OpenCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt,
+		Hardening{Checkpoint: ck2, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatRuntimeRows(got) != FormatRuntimeRows(want) {
+		t.Fatalf("resumed parallel output differs from serial reference:\n--- want\n%s\n--- got\n%s",
+			FormatRuntimeRows(want), FormatRuntimeRows(got))
+	}
+	if RuntimeRowsCSV(got) != RuntimeRowsCSV(want) {
+		t.Fatalf("resumed parallel CSV differs from serial reference")
+	}
+}
+
+func TestRuntimeStudyParallelSurvivesInjectedPanic(t *testing.T) {
+	defer guard.DisarmAll()
+	cands, spec, opt := studyFixture(t)
+	models := alexnet(t)
+
+	// Exactly one simulation panics (whichever worker draws it); the pool
+	// must absorb it as a classified candidate failure and deliver the
+	// other rows. Run under -race this also proves the injection registry
+	// and failure accounting are race-free inside the pool.
+	disarm := guard.Arm("perfsim.simulate", guard.Fault{Panic: true, Count: 1})
+	defer disarm()
+
+	rows, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt, Hardening{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cands)-1 {
+		t.Fatalf("got %d rows, want %d (one candidate sacrificed to the injected panic)",
+			len(rows), len(cands)-1)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	for _, tc := range []struct{ in, wantMin int }{
+		{0, 1}, {1, 1}, {3, 3},
+	} {
+		if got := resolveWorkers(tc.in); got != tc.wantMin {
+			t.Errorf("resolveWorkers(%d) = %d, want %d", tc.in, got, tc.wantMin)
+		}
+	}
+	if got := resolveWorkers(DefaultWorkers); got < 1 {
+		t.Errorf("resolveWorkers(DefaultWorkers) = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,31 @@
+// Package guard is NeuroMeter's robustness layer: a typed failure
+// taxonomy shared by every model package, finite-number guards that keep
+// NaN/Inf out of frontiers and reports, panic-to-error recovery for sweep
+// workers, and a deterministic fault-injection facility (inject.go) used
+// by tests to prove every recovery path.
+//
+// The taxonomy is deliberately small. Every error a model entry point
+// returns wraps exactly one of the sentinel errors (ErrInvalidConfig,
+// ErrInfeasible, ErrNonFinite, ErrTimeout, ErrCanceled,
+// ErrCandidatePanic), so callers classify failures with errors.Is,
+// Retryable picks out the transient kinds (timeouts only), and the CLIs
+// render structured one-line diagnostics with Kind.
+//
+// # Concurrency contract
+//
+// Everything here is safe for concurrent use: classification helpers are
+// pure, RecoverTo touches only its caller's error, and the injection
+// registry is guarded by atomics — parallel sweep workers may all pass
+// through armed Inject sites, and hit counting stays exact. Fault arming
+// itself is process-global, so tests that arm faults must not run in
+// parallel with unrelated tests (the repo's convention is a deferred
+// DisarmAll and no t.Parallel in those tests). Armed reports whether any
+// fault is live; caching layers consult it to get out of the blast path.
+//
+// # Context errors
+//
+// CtxErr classifies a context's state under the taxonomy: nil while live,
+// ErrCanceled after cancellation, ErrTimeout after a deadline. It is the
+// single idiom the sweeps use to decide between "keep going", "stop and
+// checkpoint", and "retry".
+package guard

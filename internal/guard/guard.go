@@ -1,13 +1,3 @@
-// Package guard is NeuroMeter's robustness layer: a typed failure
-// taxonomy shared by every model package, finite-number guards that keep
-// NaN/Inf out of frontiers and reports, panic-to-error recovery for sweep
-// workers, and a deterministic fault-injection facility (inject.go) used
-// by tests to prove every recovery path.
-//
-// The taxonomy is deliberately small. Every error a model entry point
-// returns wraps exactly one of the sentinel errors below, so callers can
-// classify failures with errors.Is and the CLIs can render structured
-// one-line diagnostics with Kind.
 package guard
 
 import (

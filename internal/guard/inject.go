@@ -78,6 +78,12 @@ func Arm(site string, f Fault) (disarm func()) {
 	return func() { Disarm(site) }
 }
 
+// Armed reports whether any fault is currently armed at any site. Caching
+// layers (chip.BuildCached) consult it to bypass memoization while faults
+// are live, so a cached result can never swallow an injected failure and
+// hit-count targeting ("fire on the Nth visit") stays deterministic.
+func Armed() bool { return armed.Load() > 0 }
+
 // Disarm removes the fault at the named site, if any.
 func Disarm(site string) {
 	injectMu.Lock()

@@ -1,0 +1,32 @@
+// Package obs is NeuroMeter's zero-dependency observability layer:
+// hierarchical wall-time spans with Chrome trace-event export, an atomic
+// metrics registry (counters, gauges, histograms), a span-aware log/slog
+// handler, and CLI profiling hooks.
+//
+// Everything is built to be no-op-cheap when disabled: with tracing off,
+// Start performs one atomic load and returns a nil *Span whose methods are
+// all nil-safe, adding zero allocations to hot paths (verified by
+// TestDisabledSpanZeroAlloc). Metrics are plain atomics and stay enabled at
+// all times; rendering them is what the -metrics flag gates.
+//
+// # Concurrency contract
+//
+// The whole API is safe for concurrent use. Counters, gauges and
+// histograms are lock-free atomics — Gauge.Add in particular is a CAS
+// loop, so many workers may maintain one level gauge (in-flight, queue
+// depth) without losing updates. Concurrent obs.Start calls sharing one
+// parent context are safe: a child only reads its parent, so the dse
+// worker pool opens per-candidate spans under a single sweep span from
+// every worker at once. Registry lookups (NewCounter et al.) are mutex
+// protected and return one canonical instance per name.
+//
+// Typical use:
+//
+//	obs.StartTracing()
+//	ctx, sp := obs.Start(ctx, "dse.runtime-study")
+//	sp.SetInt("candidates", int64(len(cands)))
+//	... nested obs.Start calls inherit the parent through ctx ...
+//	sp.End()
+//	t := obs.StopTracing()
+//	t.WriteChromeTrace(f) // load in chrome://tracing or ui.perfetto.dev
+package obs

@@ -1,0 +1,29 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"neurometer/internal/obs"
+)
+
+// Counters are lock-free atomics registered once per name in the default
+// registry; any number of goroutines may Inc/Add the same counter.
+func ExampleCounter() {
+	c := obs.NewCounter("example.layers_simulated")
+	c.Inc()
+	c.Add(4)
+	fmt.Println(c.Value())
+	// Output: 5
+}
+
+// Gauge.Add maintains level gauges (in-flight evaluations, queue depth)
+// with a CAS loop, so concurrent +1/-1 pairs from a worker pool never lose
+// updates and the gauge drains back to its resting level.
+func ExampleGauge_Add() {
+	g := obs.NewGauge("example.eval_inflight")
+	g.Add(2)
+	g.Add(1)
+	g.Add(-3)
+	fmt.Println(g.Value())
+	// Output: 0
+}

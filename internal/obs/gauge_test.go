@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	g := NewGauge("test.gauge_add_concurrent")
+	g.Set(10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge = %v after balanced concurrent adds, want 10", got)
+	}
+}
+
+func TestGaugeAddNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Add(1) // must not panic
+}

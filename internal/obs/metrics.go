@@ -70,6 +70,22 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add atomically adds delta to the gauge (CAS loop). Nil-safe. Used for
+// level-style gauges — in-flight evaluations, queue depth — that many
+// goroutines raise and lower concurrently.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last set value (0 on nil).
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -1,0 +1,51 @@
+package perfsim_test
+
+import (
+	"fmt"
+
+	"neurometer/internal/chip"
+	"neurometer/internal/maclib"
+	"neurometer/internal/periph"
+	"neurometer/internal/perfsim"
+	"neurometer/internal/workloads"
+)
+
+// Simulate maps a workload graph onto a built chip and returns per-batch
+// runtime metrics. It is pure — the chip and graph are read-only — so
+// sweeps call it concurrently against shared instances.
+func ExampleSimulate() {
+	c, err := chip.BuildCached(chip.Config{
+		Name: "example", TechNM: 28, ClockHz: 700e6,
+		Tx: 2, Ty: 2,
+		Core: chip.CoreConfig{
+			NumTUs: 2, TURows: 64, TUCols: 64, TUDataType: maclib.Int8,
+			HasSU: true,
+			Mem:   []chip.MemSegment{{Name: "spad", CapacityBytes: 8 << 20}},
+		},
+		NoCBisectionGBps: 256,
+		OffChip:          []chip.OffChipPort{{Kind: periph.HBMPort, GBps: 700}},
+	})
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	g, err := workloads.ByName("alexnet")
+	if err != nil {
+		fmt.Println("workload:", err)
+		return
+	}
+	res, err := perfsim.Simulate(c, g, 8, perfsim.DefaultOptions())
+	if err != nil {
+		fmt.Println("simulate:", err)
+		return
+	}
+	fmt.Println("batch:", res.Batch)
+	fmt.Println("layers simulated:", len(res.Layers) == len(g.Layers))
+	fmt.Println("throughput positive:", res.FPS > 0)
+	fmt.Println("utilization in (0,1]:", res.Utilization > 0 && res.Utilization <= 1)
+	// Output:
+	// batch: 8
+	// layers simulated: true
+	// throughput positive: true
+	// utilization in (0,1]: true
+}

@@ -1,16 +1,3 @@
-// Package perfsim is the performance simulator NeuroMeter pairs with for
-// runtime analysis — the role TF-Sim ([9], unpublished) plays in the paper.
-//
-// It maps each layer of a computational graph onto a many-core systolic
-// accelerator at tile granularity: weight tiles of X x X are distributed
-// over the chip's tensor units, activations stream through (fill/drain
-// modeled), partial-sum merging and activation/weight broadcast cross the
-// NoC, and off-chip traffic rides the HBM roofline. The graph-level
-// optimizations the paper credits to TF-Sim (Fig. 7) are implemented as
-// options: Space-to-Batch, Space-to-Depth, and double buffering.
-//
-// The simulator deliberately stays analytical (per-layer closed forms) —
-// the paper's methodology — rather than cycle-accurate.
 package perfsim
 
 import (
