@@ -30,7 +30,10 @@
 //	-csv prefix     also write -fig 10 rows to prefix.<regime>.csv
 //
 // SIGINT interrupts a sweep gracefully: in-flight state is flushed to the
-// checkpoint (when armed) and the process exits non-zero with kind=canceled.
+// checkpoint (when armed) and the process exits with kind=canceled.
+//
+// Exit codes: 0 success; 2 invalid config or infeasible study; 130
+// canceled (SIGINT); 1 any other failure.
 package main
 
 import (
@@ -84,11 +87,12 @@ func main() {
 	stopSignals()
 	stop() // flush profiles/trace/metrics before any exit
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "dse: kind=%s: %v\n", guard.Kind(runErr), runErr)
+		guard.PrintErr("dse", runErr)
 		if errors.Is(runErr, guard.ErrCanceled) && hf.checkpoint != "" {
 			fmt.Fprintf(os.Stderr, "dse: progress saved; rerun with -resume -checkpoint %s to continue\n", hf.checkpoint)
 		}
-		os.Exit(1)
+		// 2 = invalid/infeasible, 130 = canceled (SIGINT), 1 = anything else.
+		os.Exit(guard.ExitCode(runErr))
 	}
 }
 

@@ -1,7 +1,8 @@
 // Command neurometer is the generic front end of the framework: it reads an
 // accelerator description from a JSON file (or builds one of the bundled
 // presets) and prints the power/area/timing report, optionally followed by
-// a runtime simulation of a bundled workload.
+// a runtime simulation of a bundled workload. The JSON schema is shared
+// with the neurometerd serving layer (internal/apicfg).
 //
 // Example:
 //
@@ -10,111 +11,24 @@
 //
 // Observability flags (-trace, -metrics, -cpuprofile, -memprofile, -v) are
 // documented in the README's Observability section.
+//
+// Exit codes: 0 success, 2 invalid or infeasible configuration, 130
+// canceled (SIGINT), 1 anything else.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"neurometer"
+	"neurometer/internal/apicfg"
 	"neurometer/internal/guard"
 	"neurometer/internal/obs"
-	"neurometer/internal/refchips"
 )
-
-// jsonConfig is the user-facing JSON schema; it mirrors neurometer.Config
-// with string enums for data types, topologies and port kinds.
-type jsonConfig struct {
-	Name    string  `json:"name"`
-	TechNM  int     `json:"tech_nm"`
-	Vdd     float64 `json:"vdd,omitempty"`
-	ClockHz float64 `json:"clock_hz,omitempty"`
-	// TargetTOPS lets the tool search the clock instead.
-	TargetTOPS float64 `json:"target_tops,omitempty"`
-	Tx         int     `json:"tx"`
-	Ty         int     `json:"ty"`
-
-	Core struct {
-		NumTUs         int    `json:"num_tus"`
-		TURows         int    `json:"tu_rows"`
-		TUCols         int    `json:"tu_cols"`
-		TUDataType     string `json:"tu_data_type"`
-		TUInterconnect string `json:"tu_interconnect,omitempty"` // unicast | multicast
-		NumRTs         int    `json:"num_rts,omitempty"`
-		RTInputs       int    `json:"rt_inputs,omitempty"`
-		VULanes        int    `json:"vu_lanes,omitempty"`
-		HasSU          bool   `json:"has_su,omitempty"`
-		Mem            []struct {
-			Name          string `json:"name"`
-			CapacityBytes int64  `json:"capacity_bytes"`
-			BlockBytes    int    `json:"block_bytes,omitempty"`
-			Banks         int    `json:"banks,omitempty"`
-		} `json:"mem"`
-	} `json:"core"`
-
-	NoCBisectionGBps float64 `json:"noc_bisection_gbps,omitempty"`
-	OffChip          []struct {
-		Kind  string  `json:"kind"` // ddr | hbm | pcie | ici | dma
-		GBps  float64 `json:"gbps"`
-		Count int     `json:"count,omitempty"`
-	} `json:"off_chip,omitempty"`
-	WhiteSpaceFrac float64 `json:"white_space_frac,omitempty"`
-	AreaBudgetMM2  float64 `json:"area_budget_mm2,omitempty"`
-	PowerBudgetW   float64 `json:"power_budget_w,omitempty"`
-}
-
-func (j jsonConfig) toConfig() (neurometer.Config, error) {
-	cfg := neurometer.Config{
-		Name: j.Name, TechNM: j.TechNM, Vdd: j.Vdd,
-		ClockHz: j.ClockHz, TargetTOPS: j.TargetTOPS,
-		Tx: j.Tx, Ty: j.Ty,
-		NoCBisectionGBps: j.NoCBisectionGBps,
-		WhiteSpaceFrac:   j.WhiteSpaceFrac,
-		AreaBudgetMM2:    j.AreaBudgetMM2,
-		PowerBudgetW:     j.PowerBudgetW,
-	}
-	dt := map[string]neurometer.DataType{
-		"": neurometer.Int8, "int8": neurometer.Int8, "int16": neurometer.Int16,
-		"int32": neurometer.Int32, "bf16": neurometer.BF16,
-		"fp16": neurometer.FP16, "fp32": neurometer.FP32,
-	}
-	d, ok := dt[j.Core.TUDataType]
-	if !ok {
-		return cfg, fmt.Errorf("unknown tu_data_type %q", j.Core.TUDataType)
-	}
-	cfg.Core = neurometer.CoreConfig{
-		NumTUs: j.Core.NumTUs, TURows: j.Core.TURows, TUCols: j.Core.TUCols,
-		TUDataType: d,
-		NumRTs:     j.Core.NumRTs, RTInputs: j.Core.RTInputs,
-		VULanes: j.Core.VULanes, HasSU: j.Core.HasSU,
-	}
-	for _, m := range j.Core.Mem {
-		cfg.Core.Mem = append(cfg.Core.Mem, neurometer.MemSegment{
-			Name: m.Name, CapacityBytes: m.CapacityBytes,
-			BlockBytes: m.BlockBytes, Banks: m.Banks,
-		})
-	}
-	kinds := map[string]neurometer.OffChipPort{
-		"ddr":  {Kind: neurometer.DDRPort},
-		"hbm":  {Kind: neurometer.HBMPort},
-		"pcie": {Kind: neurometer.PCIePort},
-		"ici":  {Kind: neurometer.ICILink},
-		"dma":  {Kind: neurometer.DMAEngine},
-	}
-	for _, p := range j.OffChip {
-		port, ok := kinds[p.Kind]
-		if !ok {
-			return cfg, guard.Invalid("unknown off_chip kind %q", p.Kind)
-		}
-		port.GBps, port.Count = p.GBps, p.Count
-		cfg.OffChip = append(cfg.OffChip, port)
-	}
-	return cfg, nil
-}
 
 func main() {
 	configPath := flag.String("config", "", "JSON accelerator description")
@@ -131,46 +45,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	runErr := run(*configPath, *preset, *workload, *batch, *asJSON, *asERT, *profile)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	runErr := run(ctx, *configPath, *preset, *workload, *batch, *asJSON, *asERT, *profile)
+	stopSignals()
 	stop() // flush profiles/trace/metrics before any exit
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "neurometer: kind=%s: %v\n", guard.Kind(runErr), runErr)
-		os.Exit(1)
+		guard.PrintErr("neurometer", runErr)
+		os.Exit(guard.ExitCode(runErr))
 	}
 }
 
-func run(configPath, preset, workload string, batch int, asJSON, asERT, profile bool) error {
-	ctx, root := obs.Start(context.Background(), "neurometer.run")
+func run(ctx context.Context, configPath, preset, workload string, batch int, asJSON, asERT, profile bool) error {
+	ctx, root := obs.Start(ctx, "neurometer.run")
 	defer root.End()
 
 	var cfg neurometer.Config
+	var err error
 	switch {
 	case preset != "":
-		switch preset {
-		case "tpuv1":
-			cfg = refchips.TPUv1()
-		case "tpuv2":
-			cfg = refchips.TPUv2()
-		case "eyeriss":
-			cfg = refchips.Eyeriss()
-		default:
-			return guard.Invalid("unknown preset %q", preset)
+		cfg, err = apicfg.Preset(preset)
+		if err != nil {
+			return err
 		}
 	case configPath != "":
-		raw, err := os.ReadFile(configPath)
-		if err != nil {
-			return err
+		raw, rerr := os.ReadFile(configPath)
+		if rerr != nil {
+			return rerr
 		}
-		var j jsonConfig
-		if err := json.Unmarshal(raw, &j); err != nil {
+		cfg, err = apicfg.Parse(raw)
+		if err != nil {
 			return fmt.Errorf("parsing %s: %w", configPath, err)
 		}
-		cfg, err = j.toConfig()
-		if err != nil {
-			return err
-		}
 	default:
-		return fmt.Errorf("either -config or -preset is required")
+		return guard.Invalid("either -config or -preset is required")
 	}
 
 	_, bspan := obs.Start(ctx, "neurometer.build")

@@ -1,11 +1,11 @@
 package main
 
 import (
-	"encoding/json"
 	"os"
 	"testing"
 
 	"neurometer"
+	"neurometer/internal/apicfg"
 )
 
 func TestSampleConfigParsesAndBuilds(t *testing.T) {
@@ -13,11 +13,7 @@ func TestSampleConfigParsesAndBuilds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var j jsonConfig
-	if err := json.Unmarshal(raw, &j); err != nil {
-		t.Fatal(err)
-	}
-	cfg, err := j.toConfig()
+	cfg, err := apicfg.Parse(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,22 +29,5 @@ func TestSampleConfigParsesAndBuilds(t *testing.T) {
 	}
 	if c.PeakTOPS() < 91 || c.PeakTOPS() > 93 {
 		t.Errorf("sample chip peak: %.2f", c.PeakTOPS())
-	}
-}
-
-func TestBadConfigsRejected(t *testing.T) {
-	j := jsonConfig{}
-	j.Core.TUDataType = "fp64"
-	if _, err := j.toConfig(); err == nil {
-		t.Errorf("unknown data type must fail")
-	}
-	j = jsonConfig{}
-	j.OffChip = append(j.OffChip, struct {
-		Kind  string  `json:"kind"`
-		GBps  float64 `json:"gbps"`
-		Count int     `json:"count,omitempty"`
-	}{Kind: "optical", GBps: 1})
-	if _, err := j.toConfig(); err == nil {
-		t.Errorf("unknown port kind must fail")
 	}
 }

@@ -1,0 +1,123 @@
+// Command neurometerd serves the NeuroMeter models over HTTP with the
+// robustness envelope described in DESIGN.md §10: admission control and
+// load shedding, per-request deadlines, panic containment, a degraded-
+// readiness watchdog, and crash-safe DSE study jobs that resume from their
+// checkpoints after a restart.
+//
+//	neurometerd -addr :8080 -jobs-dir /var/lib/neurometer/jobs
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness (always 200 while the process runs)
+//	GET  /readyz                  readiness (503 while draining or degraded)
+//	GET  /metricz                 metrics snapshot (text, or ?format=json)
+//	POST /v1/chip/build           chip model report for a preset or inline config
+//	POST /v1/perfsim/simulate     one workload × batch on a chip
+//	POST /v1/dse/study            submit (or resume) an async study job
+//	GET  /v1/dse/study/{id}       job status and, when done, the result rows
+//
+// SIGTERM and SIGINT begin a graceful drain: the listener closes, in-flight
+// requests finish, running study jobs are canceled and flush their
+// checkpoints, and the process exits 0 within -drain-timeout (exit 1 if the
+// drain deadline expires first).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"neurometer/internal/obs"
+	"neurometer/internal/serve"
+)
+
+func main() {
+	def := serve.DefaultConfig()
+	addr := flag.String("addr", ":8080", "listen address")
+	buildLimit := flag.Int("build-limit", def.BuildLimit, "max concurrent /v1/chip/build requests")
+	simLimit := flag.Int("simulate-limit", def.SimulateLimit, "max concurrent /v1/perfsim/simulate requests")
+	studyLimit := flag.Int("study-limit", def.StudyLimit, "max concurrently running study jobs")
+	queueDepth := flag.Int("queue-depth", def.QueueDepth, "admission queue depth per endpoint")
+	maxQueuedJobs := flag.Int("max-queued-jobs", def.MaxQueuedJobs, "max study jobs waiting for a run slot")
+	admissionTimeout := flag.Duration("admission-timeout", def.AdmissionTimeout, "max wait for an execution slot before shedding")
+	requestTimeout := flag.Duration("request-timeout", def.RequestTimeout, "default per-request deadline")
+	shedWatermark := flag.Float64("shed-watermark", def.ShedWatermark, "shed build/simulate requests while dse.eval_inflight is at or above this (0 disables)")
+	degradedAfter := flag.Int("degraded-after", def.DegradedAfter, "consecutive 5xx responses before /readyz reports degraded (negative disables)")
+	workers := flag.Int("workers", 0, "study evaluation workers (0 = GOMAXPROCS)")
+	jobsDir := flag.String("jobs-dir", "", "directory for study-job checkpoints (empty: jobs do not survive restarts)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time for the graceful drain on SIGTERM/SIGINT")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	stop, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neurometerd: %v\n", err)
+		os.Exit(1)
+	}
+	defer stop()
+
+	cfg := serve.Config{
+		BuildLimit:       *buildLimit,
+		SimulateLimit:    *simLimit,
+		StudyLimit:       *studyLimit,
+		QueueDepth:       *queueDepth,
+		MaxQueuedJobs:    *maxQueuedJobs,
+		AdmissionTimeout: *admissionTimeout,
+		RequestTimeout:   *requestTimeout,
+		ShedWatermark:    *shedWatermark,
+		DegradedAfter:    *degradedAfter,
+		Workers:          *workers,
+		JobsDir:          *jobsDir,
+	}
+	if err := run(cfg, *addr, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "neurometerd: %v\n", err)
+		stop()
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGTERM/SIGINT, then drains within drainTimeout.
+func run(cfg serve.Config, addr string, drainTimeout time.Duration) error {
+	if cfg.JobsDir != "" {
+		if err := os.MkdirAll(cfg.JobsDir, 0o755); err != nil {
+			return fmt.Errorf("-jobs-dir: %w", err)
+		}
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s := serve.New(cfg)
+
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	slog.Info("neurometerd: serving", "addr", l.Addr().String(), "jobs_dir", cfg.JobsDir)
+
+	select {
+	case err := <-serveErr:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	cancelSignals() // a second signal kills the process the default way
+
+	slog.Info("neurometerd: signal received, draining", "timeout", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	slog.Info("neurometerd: drained cleanly")
+	return nil
+}

@@ -1,22 +1,26 @@
 // Command sparsity reproduces the paper's §IV mini-case study (Fig. 11):
 // the energy-efficiency gain of sparse over dense SpMV at different
 // sparsity levels on TU- and RT-based accelerators.
+//
+// Exit codes: 0 success; 2 invalid workload parameters; 130 canceled
+// (SIGINT); 1 any other failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"neurometer/internal/guard"
 	"neurometer/internal/sparse"
 )
 
 // fail prints a structured one-line error (kind from the guard taxonomy)
-// and exits non-zero.
+// and exits with the taxonomy code.
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "sparsity: kind=%s: %v\n", guard.Kind(err), err)
-	os.Exit(1)
+	guard.Exit("sparsity", err)
 }
 
 func main() {
@@ -26,6 +30,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "microbenchmark generator seed")
 	dist := flag.String("dist", "clustered", "zero distribution: clustered | random")
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	if *dist == "random" {
 		// Demonstrate the distribution sensitivity the paper calls out:
@@ -45,6 +52,11 @@ func main() {
 		fmt.Println()
 	}
 
+	// The microbenchmark sweep runs in one shot; a SIGINT that lands before
+	// it starts still exits 130 instead of printing a partial table.
+	if err := guard.CtxErr(ctx); err != nil {
+		fail(err)
+	}
 	w := sparse.Workload{M: *m, N: *n, K: *k}
 	out, err := sparse.Sweep(w, sparse.DefaultSparsities(), *seed)
 	if err != nil {

@@ -1,29 +1,41 @@
 // Command validate reproduces the paper's §II-C validation experiments
 // (Figs. 3-5): it builds the TPU-v1, TPU-v2 and Eyeriss models and compares
 // chip-level area/TDP and component shares against the published numbers.
+//
+// Exit codes: 0 success; 2 invalid config or infeasible build; 130
+// canceled (SIGINT); 1 any other failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"neurometer/internal/guard"
 	"neurometer/internal/refchips"
 )
 
 // fail prints a structured one-line error (kind from the guard taxonomy,
-// grep-friendly for CI log scraping) and exits non-zero.
+// grep-friendly for CI log scraping) and exits with the taxonomy code.
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "validate: kind=%s: %v\n", guard.Kind(err), err)
-	os.Exit(1)
+	guard.Exit("validate", err)
 }
 
 func main() {
 	which := flag.String("chip", "all", "chip to validate: tpuv1 | tpuv2 | eyeriss | all")
 	flag.Parse()
 
+	// Validation units are quick, but a SIGINT between them still exits 130
+	// instead of pretending the remainder passed.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
 	run := func(name string, f func() (refchips.Report, error)) {
+		if err := guard.CtxErr(ctx); err != nil {
+			fail(err)
+		}
 		rep, err := f()
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", name, err))

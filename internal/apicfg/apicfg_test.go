@@ -1,0 +1,82 @@
+package apicfg
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"neurometer/internal/chip"
+	"neurometer/internal/guard"
+	"neurometer/internal/maclib"
+	"neurometer/internal/periph"
+)
+
+const sample = `{
+  "name": "toy", "tech_nm": 28, "clock_hz": 700e6, "tx": 2, "ty": 4,
+  "core": {
+    "num_tus": 2, "tu_rows": 64, "tu_cols": 64, "tu_data_type": "int8",
+    "has_su": true,
+    "mem": [{"name": "spad", "capacity_bytes": 4194304}]
+  },
+  "noc_bisection_gbps": 256,
+  "off_chip": [{"kind": "hbm", "gbps": 700}]
+}`
+
+func TestParseBuildsValidConfig(t *testing.T) {
+	cfg, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "toy" || cfg.Tx != 2 || cfg.Ty != 4 {
+		t.Fatalf("parsed config: %+v", cfg)
+	}
+	if cfg.Core.TUDataType != maclib.Int8 || !cfg.Core.HasSU {
+		t.Fatalf("core: %+v", cfg.Core)
+	}
+	if len(cfg.OffChip) != 1 || cfg.OffChip[0].Kind != periph.HBMPort {
+		t.Fatalf("off-chip: %+v", cfg.OffChip)
+	}
+	if _, err := chip.Build(cfg); err != nil {
+		t.Fatalf("parsed config must build: %v", err)
+	}
+}
+
+func TestParseRejectsBadEnumsAndJSON(t *testing.T) {
+	if _, err := Parse([]byte(`{bad json`)); !errors.Is(err, guard.ErrInvalidConfig) {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if _, err := Parse([]byte(`{"core":{"tu_data_type":"int4"}}`)); !errors.Is(err, guard.ErrInvalidConfig) {
+		t.Fatalf("bad data type: %v", err)
+	}
+	if _, err := Parse([]byte(`{"off_chip":[{"kind":"smbus"}]}`)); !errors.Is(err, guard.ErrInvalidConfig) {
+		t.Fatalf("bad port kind: %v", err)
+	}
+}
+
+func TestPresetAndResolve(t *testing.T) {
+	for _, name := range []string{"tpuv1", "tpuv2", "eyeriss"} {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.Name == "" {
+			t.Fatalf("%s: empty config", name)
+		}
+	}
+	if _, err := Preset("tpu9"); !errors.Is(err, guard.ErrInvalidConfig) {
+		t.Fatalf("unknown preset: %v", err)
+	}
+
+	if _, err := Resolve("", nil); !errors.Is(err, guard.ErrInvalidConfig) {
+		t.Fatalf("neither source: %v", err)
+	}
+	if _, err := Resolve("tpuv1", json.RawMessage(sample)); !errors.Is(err, guard.ErrInvalidConfig) {
+		t.Fatalf("both sources: %v", err)
+	}
+	if cfg, err := Resolve("", json.RawMessage(sample)); err != nil || cfg.Name != "toy" {
+		t.Fatalf("inline resolve: %v %+v", err, cfg)
+	}
+	if cfg, err := Resolve("tpuv1", nil); err != nil || cfg.Name == "" {
+		t.Fatalf("preset resolve: %v %+v", err, cfg)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 
 	"neurometer/internal/graph"
 	"neurometer/internal/guard"
@@ -172,10 +173,14 @@ func (c *Checkpoint) Len() int {
 	return len(c.file.Rows) + len(c.file.Failures)
 }
 
-// Flush writes the checkpoint atomically (temp file + rename), so a crash
-// mid-write leaves the previous checkpoint intact rather than a truncated
-// JSON file. A clean checkpoint is not rewritten. The whole
-// marshal-write-rename sequence runs under the checkpoint mutex, so
+// Flush writes the checkpoint atomically (temp file + rename + parent-dir
+// fsync), so a crash mid-write leaves the previous checkpoint intact rather
+// than a truncated JSON file, and a crash immediately after the rename —
+// the window a SIGTERM drain closes in — cannot lose the rename itself: the
+// directory entry is forced to disk before Flush reports success. A clean
+// checkpoint is not rewritten, and a failed flush removes its temp file so
+// retries (and operators listing the directory) never see stale .tmp
+// droppings. The whole sequence runs under the checkpoint mutex, so
 // concurrent sweep workers serialize their flushes and the on-disk file is
 // always one complete, self-consistent snapshot.
 func (c *Checkpoint) Flush() error {
@@ -188,18 +193,43 @@ func (c *Checkpoint) Flush() error {
 	if err != nil {
 		return fmt.Errorf("dse: checkpoint: %w", err)
 	}
-	tmp := c.path + ".tmp"
-	if dir := filepath.Dir(c.path); dir != "" {
+	dir := filepath.Dir(c.path)
+	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("dse: checkpoint: %w", err)
 		}
 	}
+	tmp := c.path + ".tmp"
 	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("dse: checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, c.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
 		return fmt.Errorf("dse: checkpoint: %w", err)
 	}
 	c.dirty = false
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Filesystems that refuse fsync on directories (EINVAL on some
+// network mounts) are tolerated: the rename is still atomic, only the
+// durability-after-crash guarantee degrades to the mount's own policy.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
 	return nil
 }

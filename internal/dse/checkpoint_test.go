@@ -1,0 +1,80 @@
+package dse
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neurometer/internal/guard"
+)
+
+// The atomic-write protocol must never leave its temp file behind: not
+// after a successful flush (rename consumed it), and not after a failed
+// one (removed on the error path). A lingering .tmp would be mistaken for
+// an in-progress write by operators and would shadow the next flush.
+func TestCheckpointFlushLeavesNoTmpFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.json")
+	ck, err := OpenCheckpoint(path, "fp-tmp-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Record(Point{X: 8, N: 1, Tx: 1, Ty: 1}, RuntimeRow{PeakTOPS: 1})
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint missing after flush: %v", err)
+	}
+	assertNoTmp(t, dir)
+
+	// Force the rename to fail by squatting a directory on the target
+	// path: the flush must error AND clean up its temp file.
+	blocked := filepath.Join(dir, "blocked.json")
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ck2 := &Checkpoint{path: blocked, file: ck.file, dirty: true}
+	if err := ck2.Flush(); err == nil {
+		t.Fatal("flush onto a directory must fail")
+	}
+	assertNoTmp(t, dir)
+}
+
+func assertNoTmp(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s lingers after flush", e.Name())
+		}
+	}
+}
+
+// A flush into the working directory (no path separator) must survive the
+// parent-dir fsync — the "" dir defaults to ".".
+func TestCheckpointFlushBareFilename(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+	ck, err := OpenCheckpoint("bare.json", "fp-bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.RecordFailure(Point{X: 8, N: 1, Tx: 1, Ty: 1}, guard.Infeasible("x"))
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("bare.json"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"neurometer/internal/guard"
+	"neurometer/internal/perfsim"
+)
+
+// tinySpec is a fast two-brawniness study on one workload, small enough to
+// run uninterrupted in well under a second.
+func tinySpec() StudySpec {
+	cs := TableI()
+	cs.XChoices = []int{8, 64}
+	cs.NChoices = []int{2, 4}
+	cs.MaxTiles = 32
+	return StudySpec{
+		Constraints: cs,
+		Spec:        BatchSpec{Fixed: 8},
+		Opt:         perfsim.DefaultOptions(),
+		Models:      []string{"alexnet"},
+	}
+}
+
+func TestStudyFingerprintStableAndDiscriminating(t *testing.T) {
+	ctx := context.Background()
+	a, err := NewStudy(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStudy(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical specs must produce identical fingerprints")
+	}
+	if a.NumCandidates() == 0 {
+		t.Fatal("tiny spec produced no candidates")
+	}
+
+	other := tinySpec()
+	other.Spec = BatchSpec{Fixed: 16}
+	c, err := NewStudy(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different batch regimes must produce different fingerprints")
+	}
+}
+
+func TestStudyRejectsUnknownWorkload(t *testing.T) {
+	spec := tinySpec()
+	spec.Models = []string{"gpt7"}
+	if _, err := NewStudy(context.Background(), spec); !errors.Is(err, guard.ErrInvalidConfig) {
+		t.Fatalf("unknown workload: got %v, want ErrInvalidConfig", err)
+	}
+}
+
+// An interrupted Study.Run flushes its checkpoint; rerunning the same spec
+// against the same path resumes and emits byte-identical CSV to an
+// uninterrupted run — the property the serving layer's crash-safe job
+// lifecycle is built on.
+func TestStudyRunResumeByteIdentical(t *testing.T) {
+	defer guard.DisarmAll()
+	ctx := context.Background()
+
+	ref, err := NewStudy(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows, err := ref.Run(ctx, Hardening{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RuntimeRowsCSV(wantRows)
+
+	// Interrupt a checkpointed run after the second candidate completes:
+	// the fault's OnHit cancels the study context at a deterministic point.
+	path := filepath.Join(t.TempDir(), "job.ckpt.json")
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	disarm := guard.Arm("dse.candidate", guard.Fault{Skip: 2, Count: 1, OnHit: func() { cancel() }})
+	s1, err := NewStudy(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(cctx, Hardening{}, path); !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("interrupted run: got %v, want ErrCanceled", err)
+	}
+	disarm()
+
+	// A fresh Study (as a restarted server would build) resumes the
+	// checkpoint by fingerprint and completes the remainder.
+	s2, err := NewStudy(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRows, err := s2.Run(ctx, Hardening{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RuntimeRowsCSV(gotRows); got != want {
+		t.Fatalf("resumed study output differs from uninterrupted run:\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -1,0 +1,107 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The serving layer maps guard.CtxErr onto HTTP statuses (504 vs 499), so
+// which taxonomy kind wins under nested contexts is a contract, not an
+// accident. These tests pin it down: the first cause to terminate the
+// context chain wins — an expired deadline anywhere in the chain surfaces
+// as ErrTimeout, an explicit cancel anywhere surfaces as ErrCanceled —
+// regardless of nesting order.
+
+// expired returns a context whose own deadline has already passed.
+func expired(parent context.Context, t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(parent, time.Nanosecond)
+	t.Cleanup(cancel)
+	<-ctx.Done()
+	return ctx
+}
+
+func TestCtxErrLiveContext(t *testing.T) {
+	if err := CtxErr(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if err := CtxErr(ctx); err != nil {
+		t.Fatalf("unexpired deadline: %v", err)
+	}
+}
+
+func TestCtxErrDeadlineInsideCancel(t *testing.T) {
+	// cancel(live) > deadline(expired): the inner deadline terminates the
+	// chain first, so the leaf classifies as timeout.
+	outer, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inner := expired(outer, t)
+	if err := CtxErr(inner); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("inner deadline must win as timeout, got %v", err)
+	}
+}
+
+func TestCtxErrCancelInsideDeadline(t *testing.T) {
+	// deadline(long, live) > cancel(fired): the explicit cancel terminates
+	// first and wins as canceled even though a deadline encloses it.
+	outer, outerCancel := context.WithTimeout(context.Background(), time.Hour)
+	defer outerCancel()
+	inner, cancel := context.WithCancel(outer)
+	cancel()
+	if err := CtxErr(inner); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("explicit cancel must win as canceled, got %v", err)
+	}
+}
+
+func TestCtxErrOuterDeadlinePropagatesThroughCancel(t *testing.T) {
+	// deadline(expired) > cancel(never fired) > deadline(long): the outer
+	// expiry propagates through the untouched middle cancel and the inner
+	// longer deadline, and still classifies as timeout at the leaf.
+	outer := expired(context.Background(), t)
+	mid, midCancel := context.WithCancel(outer)
+	defer midCancel()
+	inner, innerCancel := context.WithTimeout(mid, time.Hour)
+	defer innerCancel()
+	<-inner.Done()
+	if err := CtxErr(inner); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("propagated outer deadline must classify as timeout, got %v", err)
+	}
+}
+
+func TestCtxErrCancelBeatsPendingDeadlines(t *testing.T) {
+	// deadline(long) > cancel(fired) > deadline(long): with both deadlines
+	// still pending, the explicit cancel is the terminating cause — the
+	// serve layer reports 499 (client went away), not 504.
+	outer, outerCancel := context.WithTimeout(context.Background(), time.Hour)
+	defer outerCancel()
+	mid, midCancel := context.WithCancel(outer)
+	inner, innerCancel := context.WithTimeout(mid, time.Hour)
+	defer innerCancel()
+	midCancel()
+	<-inner.Done()
+	if err := CtxErr(inner); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancel must beat pending deadlines, got %v", err)
+	}
+}
+
+func TestClassifyNestedKinds(t *testing.T) {
+	// Classify must agree with CtxErr's verdicts when handed the raw
+	// context causes, and Kind must name them the way the serve layer's
+	// status mapping expects.
+	if k := Kind(Classify(context.DeadlineExceeded)); k != "timeout" {
+		t.Fatalf("DeadlineExceeded classifies as %q, want timeout", k)
+	}
+	if k := Kind(Classify(context.Canceled)); k != "canceled" {
+		t.Fatalf("Canceled classifies as %q, want canceled", k)
+	}
+	// Already-classified errors pass through unchanged: double
+	// classification must not re-wrap.
+	err := Classify(context.Canceled)
+	if again := Classify(err); !errors.Is(again, ErrCanceled) || again.Error() != err.Error() {
+		t.Fatalf("double Classify changed the error: %v vs %v", again, err)
+	}
+}

@@ -1,0 +1,92 @@
+package guard
+
+import (
+	"errors"
+	"net/http"
+	"os"
+)
+
+// Process- and wire-facing projections of the error taxonomy. The serving
+// layer (internal/serve) and the CLIs both classify failures through the
+// same errors.Is chains as Kind, so a given failure always carries the same
+// identity whether it surfaces as an HTTP status, an exit code, or a
+// structured kind= log line.
+
+// StatusClientClosedRequest is the non-standard 499 status (popularized by
+// nginx) for requests abandoned by the client: the handler's context was
+// canceled before the evaluation finished, through no fault of the server.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps an error onto the HTTP status the serving layer returns
+// for it:
+//
+//	nil               200 OK
+//	ErrInvalidConfig  400 Bad Request         (the request can never succeed)
+//	ErrInfeasible     422 Unprocessable Entity (well-formed, no feasible chip)
+//	ErrTimeout        504 Gateway Timeout      (deadline expired mid-evaluation)
+//	ErrCanceled       499                      (client went away)
+//	ErrNonFinite      500 Internal Server Error (model produced NaN/Inf)
+//	ErrCandidatePanic 500 Internal Server Error (recovered model panic)
+//	anything else     500 Internal Server Error
+//
+// The order mirrors Kind: an error wrapping several taxonomy members maps
+// by the first match.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrInvalidConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrNonFinite):
+		return http.StatusInternalServerError
+	case errors.Is(err, ErrTimeout):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrCanceled):
+		return StatusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// ExitCode maps an error onto the process exit code shared by every
+// NeuroMeter CLI:
+//
+//	nil                              0
+//	ErrInvalidConfig, ErrInfeasible  2    (usage/config errors, sysexits-style)
+//	ErrCanceled                      130  (128 + SIGINT, the shell convention)
+//	anything else                    1
+//
+// Precedence follows Kind so the kind= log line, the HTTP status, and the
+// exit code always tell the same story about one failure.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrInvalidConfig), errors.Is(err, ErrInfeasible):
+		return 2
+	case errors.Is(err, ErrCanceled):
+		return 130
+	}
+	return 1
+}
+
+// Exit prints the structured one-line kind= diagnostic every CLI emits and
+// exits with ExitCode(err). prog names the binary. A nil err is a no-op so
+// callers can invoke it unconditionally on their run error.
+func Exit(prog string, err error) {
+	if err == nil {
+		return
+	}
+	PrintErr(prog, err)
+	os.Exit(ExitCode(err))
+}
+
+// PrintErr writes the structured one-line kind= diagnostic without exiting,
+// for callers that have cleanup to sequence around the exit.
+func PrintErr(prog string, err error) {
+	if err == nil {
+		return
+	}
+	os.Stderr.WriteString(prog + ": kind=" + Kind(err) + ": " + err.Error() + "\n")
+}

@@ -1,0 +1,65 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{Invalid("bad tx"), http.StatusBadRequest},
+		{Infeasible("timing"), http.StatusUnprocessableEntity},
+		{NonFinite("area_mm2", 0), http.StatusInternalServerError},
+		{fmt.Errorf("candidate: %w", ErrTimeout), http.StatusGatewayTimeout},
+		{fmt.Errorf("sweep: %w", ErrCanceled), StatusClientClosedRequest},
+		{fmt.Errorf("eval: %w", ErrCandidatePanic), http.StatusInternalServerError},
+		{errors.New("plain"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{fmt.Errorf("run: %w", ErrCanceled), 130},
+		{Invalid("bad flag"), 2},
+		{Infeasible("no feasible clock"), 2},
+		{fmt.Errorf("eval: %w", ErrTimeout), 1},
+		{fmt.Errorf("eval: %w", ErrCandidatePanic), 1},
+		{errors.New("plain"), 1},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// An error wrapping both a cancel and a config failure maps by the first
+// taxonomy match — invalid-config — in HTTPStatus, ExitCode, and Kind
+// alike, so the three projections can never disagree about a failure.
+func TestProjectionsAgreeOnJoinedErrors(t *testing.T) {
+	err := errors.Join(Invalid("x"), ErrCanceled)
+	if k := Kind(err); k != "invalid-config" {
+		t.Fatalf("Kind = %q", k)
+	}
+	if s := HTTPStatus(err); s != http.StatusBadRequest {
+		t.Fatalf("HTTPStatus = %d", s)
+	}
+	if c := ExitCode(err); c != 2 {
+		t.Fatalf("ExitCode = %d", c)
+	}
+}

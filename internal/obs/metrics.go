@@ -116,10 +116,18 @@ func newHistogram(bounds []float64) *Histogram {
 	return h
 }
 
-// Observe records one value. Nil-safe, lock-free.
+// Observe records one value. Nil-safe, lock-free. Negative values are
+// clamped to zero at record time: duration instruments can observe small
+// negative samples under clock skew (time.Since across a step), and an
+// unclamped negative min/max would poison the snapshot's summary stats
+// (a histogram that only ever saw skewed samples must report max=0, not a
+// negative duration).
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
+	}
+	if v < 0 {
+		v = 0
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.cells[i].Add(1)

@@ -122,6 +122,34 @@ func TestSnapshotTextAndJSON(t *testing.T) {
 	}
 }
 
+// Regression: a duration histogram fed only negative (clock-skew) samples
+// must clamp them to zero at record time — min, max, and sum all read 0 and
+// the samples land in the first bucket, instead of a negative max leaking
+// into snapshots.
+func TestHistogramClampsNegativeObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("skewed", []float64{1, 10})
+	h.Observe(-0.25)
+	h.Observe(-3e-9)
+	s := r.Snapshot().Histograms["skewed"]
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Min != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Errorf("min/max/sum = %g/%g/%g, want 0/0/0", s.Min, s.Max, s.Sum)
+	}
+	if s.Buckets[0] != 2 {
+		t.Errorf("buckets = %v, want both samples in the first bucket", s.Buckets)
+	}
+	// Mixed with a real sample, the clamped zeros must not drag max down
+	// or push min negative.
+	h.Observe(5)
+	s = r.Snapshot().Histograms["skewed"]
+	if s.Min != 0 || s.Max != 5 {
+		t.Errorf("after mixed samples min/max = %g/%g, want 0/5", s.Min, s.Max)
+	}
+}
+
 func TestHistogramEmptySnapshotMinMaxZero(t *testing.T) {
 	r := NewRegistry()
 	r.Histogram("empty", nil)

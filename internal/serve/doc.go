@@ -1,0 +1,37 @@
+// Package serve is the resilient serving layer over the NeuroMeter models:
+// an HTTP service (cmd/neurometerd) exposing chip building, performance
+// simulation, and asynchronous DSE studies as a high-QPS evaluation oracle
+// for outer search loops.
+//
+// Its failure behavior is designed, not accidental:
+//
+//   - Admission control. Every model endpoint sits behind a bounded work
+//     queue with a per-endpoint concurrency limit and an admission
+//     deadline. When the waiting room is full, the deadline passes without
+//     a slot, or dse.eval_inflight exceeds the configured watermark, the
+//     request is shed with 429 + Retry-After instead of queueing
+//     unboundedly (serve.shed_total counts them).
+//
+//   - Deadline propagation. Per-request deadlines (Config.RequestTimeout,
+//     tightened per request via ?timeout_ms=) ride the request context into
+//     perfsim.SimulateCtx and dse.RuntimeStudyHardened; expiry surfaces as
+//     guard.ErrTimeout → 504 and a client disconnect as guard.ErrCanceled
+//     → 499, with the kind= taxonomy in the response body.
+//
+//   - Crash safety. Panic-recovery middleware (guard.RecoverTo) converts a
+//     poisoned request into a 500 and a counter increment — never a dead
+//     process. A watchdog trips /readyz into a degraded 503 after
+//     Config.DegradedAfter consecutive 5xx responses and un-trips on the
+//     next success. DSE jobs persist through dse.Checkpoint: job IDs are
+//     derived from the study fingerprint, so a SIGTERM mid-study drains
+//     in-flight candidates, flushes the checkpoint, and resubmitting the
+//     same study to a restarted server resumes it byte-identically.
+//
+//   - Graceful shutdown. Shutdown sequences listener close → connection
+//     drain with deadline → job cancellation and checkpoint flush → final
+//     metrics snapshot.
+//
+// Error mapping is guard.HTTPStatus: invalid-config 400, infeasible 422,
+// timeout 504, canceled 499, non-finite/panic/other 500. See DESIGN.md §10
+// and the README's Serving section for the wire contract.
+package serve

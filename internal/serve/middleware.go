@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"neurometer/internal/guard"
+	"neurometer/internal/obs"
+)
+
+// Observability: the request-path metrics in the obs default registry.
+// serve.shed_total is the load-shedding contract's witness; the histogram
+// and gauge reuse the obs instruments the sweeps already export.
+var (
+	mRequests   = obs.NewCounter("serve.requests_total")
+	mErrors5xx  = obs.NewCounter("serve.responses_5xx")
+	mShed       = obs.NewCounter("serve.shed_total")
+	mPanics     = obs.NewCounter("serve.handler_panics")
+	mReqSeconds = obs.NewHistogram("serve.request_seconds", nil)
+	gInflight   = obs.NewGauge("serve.inflight")
+)
+
+// apiError is the wire form of every failure: the message plus the guard
+// taxonomy kind, so clients branch on a stable enum instead of parsing
+// prose.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// handlerFunc is a model endpoint: it returns the response body (marshaled
+// as JSON) and an optional non-200 success status. Failures return a guard
+// taxonomy error; the middleware maps it to the HTTP status.
+type handlerFunc func(r *http.Request) (status int, body any, err error)
+
+// handle wraps a model endpoint with the full robustness stack, outermost
+// first: request metrics, admission control (lim may be nil for cheap
+// endpoints), per-request deadline propagation, panic recovery, error→
+// status mapping, and watchdog accounting.
+func (s *Server) handle(endpoint string, lim *limiter, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
+		start := time.Now()
+		gInflight.Add(1)
+		defer func() {
+			gInflight.Add(-1)
+			mReqSeconds.Observe(time.Since(start).Seconds())
+		}()
+
+		if lim != nil {
+			release, err := lim.acquire(r.Context())
+			if err != nil {
+				s.writeError(w, r, endpoint, err)
+				return
+			}
+			defer release()
+		}
+
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+
+		var status int
+		var body any
+		err := func() (err error) {
+			defer guard.RecoverTo(&err)
+			status, body, err = h(r.WithContext(ctx))
+			return err
+		}()
+		if err != nil {
+			if errors.Is(err, guard.ErrCandidatePanic) {
+				mPanics.Inc()
+			}
+			s.writeError(w, r, endpoint, err)
+			return
+		}
+		s.wd.ok()
+		if status == 0 {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, body)
+	})
+}
+
+// requestContext derives the handler context: the server's default request
+// timeout, tightened (never loosened) by a positive ?timeout_ms= query
+// parameter. The resulting deadline rides into the model layers, and a
+// client disconnect cancels it through r.Context().
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if ms, err := strconv.Atoi(r.URL.Query().Get("timeout_ms")); err == nil && ms > 0 {
+		if req := time.Duration(ms) * time.Millisecond; d <= 0 || req < d {
+			d = req
+		}
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeError renders a failure: ErrShed → 429 + Retry-After, everything
+// else through guard.HTTPStatus, with the kind= taxonomy in the body. 5xx
+// responses feed the watchdog; shed and 4xx responses do not (the server
+// is behaving as designed).
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, endpoint string, err error) {
+	status := guard.HTTPStatus(err)
+	if errors.Is(err, ErrShed) {
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", s.retryAfter())
+		mShed.Inc()
+	}
+	if status >= 500 {
+		mErrors5xx.Inc()
+		s.wd.fail()
+		slog.Warn("serve: request failed", "endpoint", endpoint,
+			"status", status, "kind", guard.Kind(err), "err", err)
+	}
+	writeJSON(w, status, apiError{Error: err.Error(), Kind: guard.Kind(err)})
+}
+
+// retryAfter hints how long a shed client should back off: the admission
+// deadline rounded up to a whole second (the time a queued slot is most
+// likely to take to free).
+func (s *Server) retryAfter() string {
+	secs := int(s.cfg.AdmissionTimeout / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		slog.Debug("serve: response encode failed", "err", err)
+	}
+}

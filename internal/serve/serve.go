@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"neurometer/internal/apicfg"
+	"neurometer/internal/chip"
+	"neurometer/internal/dse"
+	"neurometer/internal/guard"
+	"neurometer/internal/obs"
+	"neurometer/internal/perfsim"
+	"neurometer/internal/workloads"
+)
+
+// Config sizes the server's robustness envelope. The zero value of any
+// field falls back to the DefaultConfig value.
+type Config struct {
+	// BuildLimit / SimulateLimit bound concurrent executions per endpoint;
+	// StudyLimit bounds concurrently *running* study jobs.
+	BuildLimit    int
+	SimulateLimit int
+	StudyLimit    int
+	// QueueDepth bounds how many admitted requests may wait for a slot per
+	// endpoint; beyond it requests shed immediately.
+	QueueDepth int
+	// MaxQueuedJobs bounds submitted-but-not-running study jobs.
+	MaxQueuedJobs int
+	// AdmissionTimeout bounds how long a queued request waits for a slot.
+	AdmissionTimeout time.Duration
+	// RequestTimeout is the default per-request deadline (tightened per
+	// request with ?timeout_ms=).
+	RequestTimeout time.Duration
+	// ShedWatermark sheds build/simulate requests while dse.eval_inflight
+	// is at or above it (0 disables cost-aware shedding).
+	ShedWatermark float64
+	// DegradedAfter consecutive 5xx responses trip /readyz degraded
+	// (0 falls back to the default; negative disables the watchdog).
+	DegradedAfter int
+	// Workers is the dse evaluation pool size for study jobs.
+	Workers int
+	// JobsDir holds study-job checkpoints; empty disables job persistence
+	// (jobs still run, but do not survive a restart).
+	JobsDir string
+	// MaxBodyBytes bounds request bodies.
+	MaxBodyBytes int64
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		BuildLimit:       8,
+		SimulateLimit:    4,
+		StudyLimit:       1,
+		QueueDepth:       16,
+		MaxQueuedJobs:    8,
+		AdmissionTimeout: time.Second,
+		RequestTimeout:   30 * time.Second,
+		DegradedAfter:    5,
+		Workers:          dse.DefaultWorkers,
+		MaxBodyBytes:     1 << 20,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.BuildLimit == 0 {
+		c.BuildLimit = d.BuildLimit
+	}
+	if c.SimulateLimit == 0 {
+		c.SimulateLimit = d.SimulateLimit
+	}
+	if c.StudyLimit == 0 {
+		c.StudyLimit = d.StudyLimit
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.MaxQueuedJobs == 0 {
+		c.MaxQueuedJobs = d.MaxQueuedJobs
+	}
+	if c.AdmissionTimeout == 0 {
+		c.AdmissionTimeout = d.AdmissionTimeout
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.DegradedAfter == 0 {
+		c.DegradedAfter = d.DegradedAfter
+	}
+	if c.Workers == 0 {
+		c.Workers = d.Workers
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	return c
+}
+
+// Server is the neurometerd HTTP service. Create with New, mount Handler
+// (or ListenAndServe), and always Shutdown — it owns running study jobs.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	http *http.Server
+	wd   *watchdog
+	jobs *jobStore
+
+	limBuild *limiter
+	limSim   *limiter
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   chan struct{} // closed when Shutdown begins
+	stopOnce   sync.Once
+	stopErr    error
+}
+
+// New builds a server from the config (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		wd:         &watchdog{threshold: int64(cfg.DegradedAfter)},
+		limBuild:   newLimiter("chip.build", cfg.BuildLimit, cfg.QueueDepth, cfg.AdmissionTimeout, cfg.ShedWatermark),
+		limSim:     newLimiter("perfsim.simulate", cfg.SimulateLimit, cfg.QueueDepth, cfg.AdmissionTimeout, cfg.ShedWatermark),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		draining:   make(chan struct{}),
+	}
+	s.jobs = newJobStore(s)
+	// Constructed here, not in Serve, so Shutdown never races the Serve
+	// goroutine's first instructions.
+	s.http = &http.Server{Handler: s.mux}
+
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
+	s.mux.HandleFunc("GET /metricz", s.metricz)
+	s.mux.Handle("POST /v1/chip/build", s.handle("chip.build", s.limBuild, s.buildHandler))
+	s.mux.Handle("POST /v1/perfsim/simulate", s.handle("perfsim.simulate", s.limSim, s.simulateHandler))
+	s.mux.Handle("POST /v1/dse/study", s.handle("dse.study", nil, s.studySubmit))
+	s.mux.Handle("GET /v1/dse/study/{id}", s.handle("dse.study.get", nil, s.studyGet))
+	return s
+}
+
+// Handler exposes the routed middleware stack (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.http.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server in the documented order: close the listener,
+// drain in-flight connections within the ctx deadline, cancel running
+// study jobs and wait for their checkpoint flushes, then log the final
+// metrics snapshot. Idempotent (a SIGTERM/SIGINT double-fire drains once);
+// afterwards /readyz reports 503 until the process exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() {
+		close(s.draining)
+		httpErr := s.http.Shutdown(ctx) // listener close + connection drain
+		jobsErr := s.jobs.shutdown(ctx) // cancel studies, wait for flushes
+		s.baseCancel()
+		snap := obs.Default().Snapshot()
+		slog.Info("serve: final metrics snapshot",
+			"requests", snap.Counters["serve.requests_total"],
+			"shed", snap.Counters["serve.shed_total"],
+			"responses_5xx", snap.Counters["serve.responses_5xx"],
+			"jobs_submitted", snap.Counters["serve.jobs_submitted"])
+		s.stopErr = httpErr
+		if s.stopErr == nil {
+			s.stopErr = jobsErr
+		}
+	})
+	return s.stopErr
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// ---- health & metrics -----------------------------------------------------
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// readyzBody is the /readyz wire format.
+type readyzBody struct {
+	Ready               bool   `json:"ready"`
+	Reason              string `json:"reason,omitempty"`
+	ConsecutiveFailures int64  `json:"consecutive_failures"`
+	RunningJobs         int    `json:"running_jobs"`
+}
+
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	body := readyzBody{
+		Ready:               true,
+		ConsecutiveFailures: s.wd.consecutive.Load(),
+		RunningJobs:         s.jobs.running(),
+	}
+	switch {
+	case s.isDraining():
+		body.Ready, body.Reason = false, "draining"
+	case s.wd.isDegraded():
+		body.Ready, body.Reason = false, "degraded: consecutive request failures"
+	}
+	status := http.StatusOK
+	if !body.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) metricz(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Default().Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, snap.Text())
+}
+
+// ---- /v1/chip/build -------------------------------------------------------
+
+// ChipRequest selects a chip: a bundled preset or an inline apicfg JSON
+// description (exactly one).
+type ChipRequest struct {
+	Preset string          `json:"preset,omitempty"`
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+func (cr ChipRequest) resolve() (*chip.Chip, error) {
+	cfg, err := apicfg.Resolve(cr.Preset, cr.Config)
+	if err != nil {
+		return nil, err
+	}
+	return chip.BuildCached(cfg)
+}
+
+func (s *Server) buildHandler(r *http.Request) (int, any, error) {
+	var req ChipRequest
+	if err := decodeBody(r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return 0, nil, err
+	}
+	if err := guard.CtxErr(r.Context()); err != nil {
+		return 0, nil, err
+	}
+	c, err := req.resolve()
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, c.JSONReport(), nil
+}
+
+// ---- /v1/perfsim/simulate -------------------------------------------------
+
+// SimulateRequest runs one workload at one batch size on a chip.
+type SimulateRequest struct {
+	ChipRequest
+	Workload string           `json:"workload"`
+	Batch    int              `json:"batch"`
+	Options  *perfsim.Options `json:"options,omitempty"` // nil = all optimizations on
+}
+
+// SimulateResponse is the runtime summary (mirrors the cmd/neurometer
+// -workload output).
+type SimulateResponse struct {
+	Chip         string  `json:"chip"`
+	Workload     string  `json:"workload"`
+	Batch        int     `json:"batch"`
+	FPS          float64 `json:"fps"`
+	LatencyMS    float64 `json:"latency_ms"`
+	AchievedTOPS float64 `json:"achieved_tops"`
+	Utilization  float64 `json:"utilization"`
+	PowerW       float64 `json:"power_w"`
+	TOPSPerWatt  float64 `json:"tops_per_watt"`
+	TOPSPerTCO   float64 `json:"tops_per_tco"`
+}
+
+func (s *Server) simulateHandler(r *http.Request) (int, any, error) {
+	var req SimulateRequest
+	if err := decodeBody(r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return 0, nil, err
+	}
+	g, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return 0, nil, guard.Invalid("%v", err)
+	}
+	c, err := req.resolve()
+	if err != nil {
+		return 0, nil, err
+	}
+	opt := perfsim.DefaultOptions()
+	if req.Options != nil {
+		opt = *req.Options
+	}
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	res, err := perfsim.SimulateCtx(r.Context(), c, g, batch, opt)
+	if err != nil {
+		return 0, nil, err
+	}
+	e := c.Efficiency(res.AchievedTOPS*1e12, res.Activity)
+	return http.StatusOK, SimulateResponse{
+		Chip:         c.Cfg.Name,
+		Workload:     g.Name,
+		Batch:        batch,
+		FPS:          res.FPS,
+		LatencyMS:    res.LatencySec * 1e3,
+		AchievedTOPS: res.AchievedTOPS,
+		Utilization:  res.Utilization,
+		PowerW:       e.PowerW,
+		TOPSPerWatt:  e.TOPSPerWatt,
+		TOPSPerTCO:   e.TOPSPerTCO,
+	}, nil
+}
+
+// decodeBody reads a bounded JSON request body. Malformed JSON is an
+// invalid-config failure (400), not a server error.
+func decodeBody(r *http.Request, limit int64, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return guard.Invalid("request body: %v", err)
+	}
+	return nil
+}

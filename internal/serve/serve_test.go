@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"neurometer/internal/guard"
+)
+
+// newTestServer spins up a Server on an httptest listener and guarantees a
+// bounded Shutdown at cleanup.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// doJSON issues a request and decodes the JSON response into a generic map.
+func doJSON(t *testing.T, method, url, body string) (int, http.Header, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if len(bytes.TrimSpace(raw)) > 0 && json.Valid(raw) {
+		json.Unmarshal(raw, &m)
+	}
+	return resp.StatusCode, resp.Header, m
+}
+
+// tinyStudyBody mirrors the dse package's tinySpec: a fast study that
+// finishes in well under a second.
+func tinyStudyBody(extra string) string {
+	b := `{"batch":8,"models":["alexnet"],"x_choices":[8,64],"n_choices":[2,4],"max_tiles":32`
+	if extra != "" {
+		b += "," + extra
+	}
+	return b + "}"
+}
+
+func TestEndpointsHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	status, _, body := doJSON(t, "GET", ts.URL+"/healthz", "")
+	if status != 200 {
+		t.Fatalf("healthz: %d", status)
+	}
+	status, _, body = doJSON(t, "GET", ts.URL+"/readyz", "")
+	if status != 200 || body["ready"] != true {
+		t.Fatalf("readyz: %d %v", status, body)
+	}
+
+	status, _, body = doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`)
+	if status != 200 {
+		t.Fatalf("build: %d %v", status, body)
+	}
+
+	status, _, body = doJSON(t, "POST", ts.URL+"/v1/perfsim/simulate",
+		`{"preset":"tpuv2","workload":"resnet50","batch":8}`)
+	if status != 200 {
+		t.Fatalf("simulate: %d %v", status, body)
+	}
+	if fps, _ := body["fps"].(float64); fps <= 0 {
+		t.Fatalf("simulate fps = %v, want > 0", body["fps"])
+	}
+
+	// Validation failures map to the taxonomy, not to 500.
+	status, _, body = doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv9"}`)
+	if status != 400 || body["kind"] != "invalid-config" {
+		t.Fatalf("bad preset: %d %v", status, body)
+	}
+	status, _, body = doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1", "config":{`)
+	if status != 400 {
+		t.Fatalf("malformed JSON: %d %v", status, body)
+	}
+	status, _, body = doJSON(t, "POST", ts.URL+"/v1/perfsim/simulate",
+		`{"preset":"tpuv1","workload":"gpt7"}`)
+	if status != 400 || body["kind"] != "invalid-config" {
+		t.Fatalf("unknown workload: %d %v", status, body)
+	}
+}
+
+func TestMetricz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`)
+
+	resp, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "serve.requests_total") {
+		t.Fatalf("metricz text missing serve.requests_total:\n%s", raw)
+	}
+	status, _, body := doJSON(t, "GET", ts.URL+"/metricz?format=json", "")
+	if status != 200 || body["counters"] == nil {
+		t.Fatalf("metricz json: %d %v", status, body)
+	}
+}
+
+// TestFaultMatrix arms each injection site the serving layer sits above and
+// asserts the wire contract: the guard kind maps to the documented status,
+// the body carries the taxonomy, and — crucially — the server keeps serving
+// healthy requests afterwards.
+func TestFaultMatrix(t *testing.T) {
+	defer guard.DisarmAll()
+	_, ts := newTestServer(t, Config{DegradedAfter: -1})
+
+	cases := []struct {
+		name, site string
+		fault      guard.Fault
+		path, body string
+		wantStatus int
+		wantKind   string
+	}{
+		{
+			name: "build panic recovers to 500", site: "chip.build",
+			fault: guard.Fault{Panic: true},
+			path:  "/v1/chip/build", body: `{"preset":"tpuv1"}`,
+			wantStatus: 500, wantKind: "panic",
+		},
+		{
+			name: "build non-finite maps to 500", site: "chip.build",
+			fault: guard.Fault{Err: guard.NonFinite("peak_tops", 0)},
+			path:  "/v1/chip/build", body: `{"preset":"tpuv1"}`,
+			wantStatus: 500, wantKind: "non-finite",
+		},
+		{
+			name: "simulate infeasible maps to 422", site: "perfsim.simulate",
+			fault: guard.Fault{Err: guard.Infeasible("no feasible mapping")},
+			path:  "/v1/perfsim/simulate", body: `{"preset":"tpuv1","workload":"alexnet"}`,
+			wantStatus: 422, wantKind: "infeasible",
+		},
+		{
+			name: "slow layer trips request deadline to 504", site: "perfsim.layer",
+			fault: guard.Fault{Delay: 2 * time.Second},
+			path:  "/v1/perfsim/simulate?timeout_ms=50", body: `{"preset":"tpuv1","workload":"alexnet"}`,
+			wantStatus: 504, wantKind: "timeout",
+		},
+		{
+			name: "study with every candidate failing maps to 422", site: "dse.candidate",
+			fault: guard.Fault{Err: guard.Infeasible("injected")},
+			path:  "/v1/dse/study", body: tinyStudyBody(`"wait":true`),
+			wantStatus: 422, wantKind: "infeasible",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			disarm := guard.Arm(tc.site, tc.fault)
+			defer disarm()
+			status, _, body := doJSON(t, "POST", ts.URL+tc.path, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status = %d (%v), want %d", status, body, tc.wantStatus)
+			}
+			if body["kind"] != tc.wantKind {
+				t.Fatalf("kind = %v, want %q", body["kind"], tc.wantKind)
+			}
+			disarm()
+
+			// The failure stayed contained: the next request succeeds.
+			status, _, body = doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`)
+			if status != 200 {
+				t.Fatalf("server stopped serving after fault: %d %v", status, body)
+			}
+		})
+	}
+}
+
+// TestClientDisconnectMapsTo499 cancels the request from the client side
+// mid-simulate and checks the taxonomy classifies it as canceled (the 499
+// never reaches the wire — the client is gone — but the watchdog must not
+// count it as a server failure).
+func TestClientDisconnectMapsTo499(t *testing.T) {
+	defer guard.DisarmAll()
+	s, ts := newTestServer(t, Config{DegradedAfter: 1})
+
+	released := make(chan struct{})
+	guard.Arm("perfsim.layer", guard.Fault{Delay: 5 * time.Second, Count: 1, OnHit: func() { close(released) }})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/perfsim/simulate",
+		strings.NewReader(`{"preset":"tpuv1","workload":"alexnet"}`))
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("expected client-side cancellation error")
+	}
+	<-released // the armed delay observed the cancellation
+
+	// Wait for the handler to unwind, then check the canceled client was
+	// not treated as a server failure: the watchdog (threshold 1) must not
+	// have tripped.
+	waitFor(t, 2*time.Second, func() bool { return gInflight.Value() == 0 })
+	if s.wd.isDegraded() {
+		t.Fatal("client disconnect tripped the watchdog")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}
+
+// TestNoGoroutineLeakAcrossLifecycle runs requests (including an async
+// study) through a full server lifecycle and checks the goroutine count
+// returns to its baseline after Shutdown.
+func TestNoGoroutineLeakAcrossLifecycle(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	s := New(Config{JobsDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	client := &http.Client{}
+
+	for i := 0; i < 4; i++ {
+		resp, err := client.Post(ts.URL+"/v1/chip/build", "application/json",
+			strings.NewReader(`{"preset":"tpuv1"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := client.Post(ts.URL+"/v1/dse/study", "application/json",
+		strings.NewReader(tinyStudyBody("")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+2 { // tolerate runtime helpers
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"neurometer/internal/guard"
+)
+
+// TestLoadShedding saturates a one-slot build endpoint with an injected
+// delay and asserts the overload contract: excess requests get 429 with a
+// Retry-After header, within (roughly) the admission deadline rather than
+// hanging, and serve.shed_total counts every shed.
+func TestLoadShedding(t *testing.T) {
+	defer guard.DisarmAll()
+	_, ts := newTestServer(t, Config{
+		BuildLimit:       1,
+		QueueDepth:       0,
+		AdmissionTimeout: 100 * time.Millisecond,
+	})
+
+	// Hold the single build slot for half a second. chip.build injects with
+	// a nil ctx, so the delay runs to completion regardless of deadlines.
+	hold := 500 * time.Millisecond
+	guard.Arm("chip.build", guard.Fault{Delay: hold, Count: 1})
+
+	start := time.Now()
+	const extra = 4
+	var wg sync.WaitGroup
+	statuses := make([]int, 1+extra)
+	retryAfter := make([]string, 1+extra)
+	for i := range statuses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i > 0 {
+				// Let the slow request claim the slot first.
+				time.Sleep(50 * time.Millisecond)
+			}
+			resp, err := http.Post(ts.URL+"/v1/chip/build", "application/json",
+				strings.NewReader(`{"preset":"tpuv1"}`))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	shed := 0
+	for i, st := range statuses {
+		switch st {
+		case 200:
+		case 429:
+			shed++
+			if retryAfter[i] == "" {
+				t.Errorf("request %d: 429 without Retry-After", i)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, st)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no request was shed despite a saturated slot")
+	}
+	// The waiting room (slots+queue = 1) was full while the slow build held
+	// its ticket, so sheds were immediate — well before the slot freed.
+	if elapsed := time.Since(start); elapsed > hold+2*time.Second {
+		t.Fatalf("shedding took %v — requests hung instead of shedding", elapsed)
+	}
+	if mShed.Value() == 0 {
+		t.Fatal("serve.shed_total did not count the sheds")
+	}
+}
+
+// TestWatermarkShedding pushes the shared dse.eval_inflight gauge past the
+// configured watermark and checks that interactive endpoints turn work away
+// while heavy study evaluation saturates the pool.
+func TestWatermarkShedding(t *testing.T) {
+	_, ts := newTestServer(t, Config{ShedWatermark: 2})
+
+	evalInflight.Add(2) // as if two study candidates were evaluating
+	status, hdr, body := doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`)
+	evalInflight.Add(-2)
+	if status != 429 {
+		t.Fatalf("status = %d (%v), want 429", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	if status, _, _ := doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`); status != 200 {
+		t.Fatalf("below watermark: status = %d, want 200", status)
+	}
+}
+
+// TestWatchdogDegradesAndRecovers drives consecutive 5xx failures through
+// the middleware and watches /readyz flip to 503 degraded, then back to 200
+// after a success.
+func TestWatchdogDegradesAndRecovers(t *testing.T) {
+	defer guard.DisarmAll()
+	_, ts := newTestServer(t, Config{DegradedAfter: 2})
+
+	disarm := guard.Arm("chip.build", guard.Fault{Err: guard.NonFinite("peak_tops", 0)})
+	for i := 0; i < 2; i++ {
+		if status, _, _ := doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`); status != 500 {
+			t.Fatalf("faulted build %d: status %d, want 500", i, status)
+		}
+	}
+	status, _, body := doJSON(t, "GET", ts.URL+"/readyz", "")
+	if status != 503 || body["ready"] != false {
+		t.Fatalf("readyz after consecutive failures: %d %v, want 503 degraded", status, body)
+	}
+	if reason, _ := body["reason"].(string); !strings.Contains(reason, "degraded") {
+		t.Fatalf("readyz reason = %q, want degraded", body["reason"])
+	}
+
+	// Liveness is unaffected: the process can still recover on its own.
+	if status, _, _ := doJSON(t, "GET", ts.URL+"/healthz", ""); status != 200 {
+		t.Fatal("healthz went down with the watchdog — degraded must not mean dead")
+	}
+
+	disarm()
+	if status, _, _ := doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`); status != 200 {
+		t.Fatal("build did not recover after disarm")
+	}
+	status, _, body = doJSON(t, "GET", ts.URL+"/readyz", "")
+	if status != 200 || body["ready"] != true {
+		t.Fatalf("readyz after recovery: %d %v, want 200 ready", status, body)
+	}
+}
+
+// TestShedDoesNotTripWatchdog: 429s are the designed overload response, not
+// failures — a shed storm must not mark the instance degraded.
+func TestShedDoesNotTripWatchdog(t *testing.T) {
+	s, ts := newTestServer(t, Config{ShedWatermark: 1, DegradedAfter: 2})
+	evalInflight.Add(1)
+	defer evalInflight.Add(-1)
+	for i := 0; i < 5; i++ {
+		if status, _, _ := doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`); status != 429 {
+			t.Fatalf("status %d, want 429", status)
+		}
+	}
+	if s.wd.isDegraded() {
+		t.Fatal("shedding tripped the watchdog")
+	}
+}
