@@ -29,6 +29,17 @@
 //	                1 = serial). Output is byte-identical at any n.
 //	-csv prefix     also write -fig 10 rows to prefix.<regime>.csv
 //
+// Distributed studies (see DESIGN.md §11):
+//
+//	-fleet host1:8080,host2:8080   shard the -fig 10 sweep across running
+//	                neurometerd workers, with leases, retries, hedged
+//	                dispatch, and per-worker circuit breakers. Candidates
+//	                the fleet cannot resolve are evaluated locally, and
+//	                output stays byte-identical to a -workers 1 run at any
+//	                fleet size and under any worker failures.
+//	-fleet-shard-size n / -fleet-lease d / -fleet-hedge-after d /
+//	-fleet-max-attempts n   tune the fleet envelope (0 = defaults)
+//
 // SIGINT interrupts a sweep gracefully: in-flight state is flushed to the
 // checkpoint (when armed) and the process exits with kind=canceled.
 //
@@ -45,9 +56,11 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"time"
 
 	"neurometer/internal/dse"
+	"neurometer/internal/fleet"
 	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 )
@@ -60,6 +73,37 @@ type hardenFlags struct {
 	retries    int
 	workers    int
 	csv        string
+
+	fleet         string
+	fleetShard    int
+	fleetLease    time.Duration
+	fleetHedge    time.Duration
+	fleetAttempts int
+}
+
+// dispatcher builds the fleet coordinator's Dispatch hook from the -fleet
+// flags, or nil when -fleet is unset (pure local evaluation).
+func (hf hardenFlags) dispatcher() (func(context.Context, dse.Shard, func(dse.ShardOutcome)), error) {
+	if hf.fleet == "" {
+		return nil, nil
+	}
+	var workers []string
+	for _, w := range strings.Split(hf.fleet, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	coord, err := fleet.New(fleet.Config{
+		Workers:     workers,
+		ShardSize:   hf.fleetShard,
+		LeaseTTL:    hf.fleetLease,
+		HedgeAfter:  hf.fleetHedge,
+		MaxAttempts: hf.fleetAttempts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return coord.Dispatch, nil
 }
 
 func main() {
@@ -72,6 +116,11 @@ func main() {
 	flag.IntVar(&hf.retries, "retries", 0, "retries for retryable (timed-out) candidate failures")
 	flag.IntVar(&hf.workers, "workers", dse.DefaultWorkers, "candidate-evaluation workers (default GOMAXPROCS; 1 = serial; output is identical at any count)")
 	flag.StringVar(&hf.csv, "csv", "", "also write -fig 10 rows as CSV at <prefix>.<regime>.csv")
+	flag.StringVar(&hf.fleet, "fleet", "", "comma-separated neurometerd worker URLs: distribute the -fig 10 sweep across them")
+	flag.IntVar(&hf.fleetShard, "fleet-shard-size", 0, "candidates per fleet shard (0 = default)")
+	flag.DurationVar(&hf.fleetLease, "fleet-lease", 0, "per-shard lease TTL before requeue (0 = default)")
+	flag.DurationVar(&hf.fleetHedge, "fleet-hedge-after", 0, "hedge a straggling shard on a second worker after this long (0 = default, negative disables)")
+	flag.IntVar(&hf.fleetAttempts, "fleet-max-attempts", 0, "max attempts per shard before local fallback (0 = default)")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -175,6 +224,11 @@ func run(ctx context.Context, fig int, full bool, hf hardenFlags) error {
 	case 10:
 		cands := dse.SecondRound(candidates(ctx, cs, full, hf.workers), cs.TOPSCap)
 		h := dse.Hardening{CandidateTimeout: hf.timeout, MaxRetries: hf.retries, Workers: hf.workers}
+		dispatch, err := hf.dispatcher()
+		if err != nil {
+			return err
+		}
+		h.Dispatch = dispatch
 		out, err := dse.Fig10Hardened(ctx, cands, dse.DefaultModels(), h, hf.checkpoint)
 		if err != nil {
 			return err

@@ -15,6 +15,14 @@
 //	POST /v1/perfsim/simulate     one workload × batch on a chip
 //	POST /v1/dse/study            submit (or resume) an async study job
 //	GET  /v1/dse/study/{id}       job status and, when done, the result rows
+//	POST /v1/worker/eval          evaluate one study shard (fleet worker side)
+//
+// Fleet mode: every neurometerd is a capable worker (the /v1/worker/eval
+// endpoint is always mounted). Passing -fleet host1:8080,host2:8080 makes
+// this instance a coordinator too: study jobs shard across the named
+// workers with leases, retries, hedging, and per-worker circuit breakers,
+// and fall back to in-process evaluation for anything the fleet cannot
+// resolve. Results are byte-identical to a single-process run.
 //
 // SIGTERM and SIGINT begin a graceful drain: the listener closes, in-flight
 // requests finish, running study jobs are canceled and flush their
@@ -30,9 +38,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"neurometer/internal/fleet"
 	"neurometer/internal/obs"
 	"neurometer/internal/serve"
 )
@@ -50,8 +60,15 @@ func main() {
 	shedWatermark := flag.Float64("shed-watermark", def.ShedWatermark, "shed build/simulate requests while dse.eval_inflight is at or above this (0 disables)")
 	degradedAfter := flag.Int("degraded-after", def.DegradedAfter, "consecutive 5xx responses before /readyz reports degraded (negative disables)")
 	workers := flag.Int("workers", 0, "study evaluation workers (0 = GOMAXPROCS)")
+	workerLimit := flag.Int("worker-limit", def.WorkerLimit, "max concurrent /v1/worker/eval shard evaluations")
 	jobsDir := flag.String("jobs-dir", "", "directory for study-job checkpoints (empty: jobs do not survive restarts)")
+	retryJitter := flag.Int("retry-after-jitter", def.RetryAfterJitter, "seconds of uniform jitter added to Retry-After on 429 (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time for the graceful drain on SIGTERM/SIGINT")
+	fleetWorkers := flag.String("fleet", "", "comma-separated worker URLs; coordinator mode: shard study jobs across them")
+	fleetShardSize := flag.Int("fleet-shard-size", 0, "candidates per fleet shard (0 = default)")
+	fleetLease := flag.Duration("fleet-lease", 0, "per-shard lease TTL before requeue (0 = default)")
+	fleetHedge := flag.Duration("fleet-hedge-after", 0, "hedge a straggling shard on a second worker after this long (0 = default, negative disables)")
+	fleetAttempts := flag.Int("fleet-max-attempts", 0, "max attempts per shard before local fallback (0 = default)")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -73,13 +90,42 @@ func main() {
 		ShedWatermark:    *shedWatermark,
 		DegradedAfter:    *degradedAfter,
 		Workers:          *workers,
+		WorkerLimit:      *workerLimit,
 		JobsDir:          *jobsDir,
+		RetryAfterJitter: *retryJitter,
+	}
+	if *fleetWorkers != "" {
+		coord, err := fleet.New(fleet.Config{
+			Workers:     splitWorkers(*fleetWorkers),
+			ShardSize:   *fleetShardSize,
+			LeaseTTL:    *fleetLease,
+			HedgeAfter:  *fleetHedge,
+			MaxAttempts: *fleetAttempts,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "neurometerd: -fleet: %v\n", err)
+			stop()
+			os.Exit(1)
+		}
+		cfg.Dispatch = coord.Dispatch
+		slog.Info("neurometerd: coordinator mode", "workers", coord.Workers())
 	}
 	if err := run(cfg, *addr, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "neurometerd: %v\n", err)
 		stop()
 		os.Exit(1)
 	}
+}
+
+// splitWorkers parses the -fleet flag's comma-separated URL list.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // run serves until SIGTERM/SIGINT, then drains within drainTimeout.

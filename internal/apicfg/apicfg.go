@@ -7,6 +7,7 @@
 package apicfg
 
 import (
+	"bytes"
 	"encoding/json"
 
 	"neurometer/internal/chip"
@@ -108,9 +109,13 @@ func (j Config) ChipConfig() (chip.Config, error) {
 }
 
 // Parse decodes a JSON accelerator description into a chip configuration.
+// Unknown fields are rejected: a typo like "clokc_hz" silently falling back
+// to a default would misprice a chip, which is worse than an error.
 func Parse(raw []byte) (chip.Config, error) {
 	var j Config
-	if err := json.Unmarshal(raw, &j); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
 		return chip.Config{}, guard.Invalid("apicfg: %v", err)
 	}
 	return j.ChipConfig()

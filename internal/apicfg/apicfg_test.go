@@ -80,3 +80,70 @@ func TestPresetAndResolve(t *testing.T) {
 		t.Fatalf("preset resolve: %v %+v", err, cfg)
 	}
 }
+
+// TestParseRejectsUnknownFields: a typo in a config file must be an error,
+// not a field silently falling back to its zero value.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	cases := []string{
+		`{"name": "x", "clokc_hz": 700e6}`,                       // top-level typo
+		`{"name": "x", "core": {"num_tus": 2, "tu_row": 64}}`,    // nested typo
+		`{"name": "x", "off_chip": [{"kind": "hbm", "gps": 1}]}`, // array-element typo
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c)); !errors.Is(err, guard.ErrInvalidConfig) {
+			t.Errorf("Parse(%s) = %v, want invalid-config for unknown field", c, err)
+		}
+	}
+	// Every documented field is still accepted.
+	if _, err := Parse([]byte(sample)); err != nil {
+		t.Fatalf("sample config must still parse: %v", err)
+	}
+}
+
+// TestResolvePresetRoundTrip: resolving a preset by name yields exactly the
+// configuration Preset returns — Resolve adds routing, not interpretation.
+func TestResolvePresetRoundTrip(t *testing.T) {
+	for _, name := range []string{"tpuv1", "tpuv2", "eyeriss"} {
+		want, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%s): %v", name, err)
+		}
+		got, err := Resolve(name, nil)
+		if err != nil {
+			t.Fatalf("Resolve(%s, nil): %v", name, err)
+		}
+		wb, _ := json.Marshal(want)
+		gb, _ := json.Marshal(got)
+		if string(wb) != string(gb) {
+			t.Errorf("Resolve(%s) differs from Preset(%s):\n%s\n%s", name, name, wb, gb)
+		}
+	}
+}
+
+// TestErrorMessagesGolden pins the exact user-facing error strings: clients
+// and scripts match on them, so a rewording is an API change.
+func TestErrorMessagesGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"both sources", func() error { _, err := Resolve("tpuv1", json.RawMessage(sample)); return err }(),
+			"invalid config: give either a preset or an inline config, not both"},
+		{"neither source", func() error { _, err := Resolve("", nil); return err }(),
+			"invalid config: a preset or an inline config is required"},
+		{"unknown preset", func() error { _, err := Preset("tpu9"); return err }(),
+			`invalid config: unknown preset "tpu9"`},
+		{"unknown data type", func() error { _, err := Parse([]byte(`{"core":{"tu_data_type":"int4"}}`)); return err }(),
+			`invalid config: unknown tu_data_type "int4"`},
+		{"unknown port kind", func() error { _, err := Parse([]byte(`{"off_chip":[{"kind":"smbus"}]}`)); return err }(),
+			`invalid config: unknown off_chip kind "smbus"`},
+		{"unknown field", func() error { _, err := Parse([]byte(`{"bogus": 1}`)); return err }(),
+			`invalid config: apicfg: json: unknown field "bogus"`},
+	}
+	for _, c := range cases {
+		if c.err == nil || c.err.Error() != c.want {
+			t.Errorf("%s:\n got  %v\n want %s", c.name, c.err, c.want)
+		}
+	}
+}

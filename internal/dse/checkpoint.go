@@ -127,8 +127,10 @@ func (c *Checkpoint) Lookup(p Point) (RuntimeRow, bool) {
 }
 
 // LookupFailure returns the recorded failure for a design point,
-// reconstructed under the guard taxonomy so errors.Is classification
-// still works after a resume.
+// reconstructed under the guard taxonomy (guard.KindError) so errors.Is
+// classification still works after a resume and the message stays
+// byte-identical to the originally recorded one — re-recording a replayed
+// failure must not mutate the checkpoint.
 func (c *Checkpoint) LookupFailure(p Point) (error, bool) {
 	c.mu.Lock()
 	f, ok := c.file.Failures[p.String()]
@@ -136,18 +138,7 @@ func (c *Checkpoint) LookupFailure(p Point) (error, bool) {
 	if !ok {
 		return nil, false
 	}
-	base := map[string]error{
-		"invalid-config": guard.ErrInvalidConfig,
-		"infeasible":     guard.ErrInfeasible,
-		"non-finite":     guard.ErrNonFinite,
-		"timeout":        guard.ErrTimeout,
-		"canceled":       guard.ErrCanceled,
-		"panic":          guard.ErrCandidatePanic,
-	}[f.Kind]
-	if base == nil {
-		return errors.New(f.Msg), true
-	}
-	return fmt.Errorf("%s: %w", f.Msg, base), true
+	return guard.KindError(f.Kind, f.Msg), true
 }
 
 // Record stores a completed row. Flush persists it.

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,7 @@ var (
 	mEvalRetries  = obs.NewCounter("dse.candidate_retries")
 	mEvalPanics   = obs.NewCounter("dse.candidate_panics")
 	mResumed      = obs.NewCounter("dse.candidates_resumed")
+	mRemote       = obs.NewCounter("dse.candidates_remote")
 	mEvalLatency  = obs.NewHistogram("dse.candidate_eval_seconds", nil)
 )
 
@@ -396,6 +398,17 @@ type Hardening struct {
 	// collected by candidate index, so output is byte-identical across
 	// worker counts.
 	Workers int
+	// Dispatch, when non-nil, is offered the pending (not checkpointed)
+	// candidates before the local pool runs: it evaluates whatever it can
+	// remotely — fleet.Coordinator.Dispatch shards them across workers —
+	// and reports resolved outcomes through its callback (safe to call
+	// from any goroutine). Candidates it leaves unreported fall through to
+	// local in-process evaluation, so losing every remote worker degrades
+	// the study, never fails it. Because remote evaluation is
+	// deterministic and outcomes merge by candidate index through the same
+	// checkpoint machinery, output stays byte-identical at any fleet size
+	// and any failure schedule.
+	Dispatch func(ctx context.Context, sh Shard, report func(ShardOutcome))
 }
 
 // outcome is one candidate's resolved result, held in an index-addressed
@@ -443,6 +456,65 @@ func RuntimeStudyHardened(ctx context.Context, cands []Candidate, models []*grap
 			}
 		}
 		pending = append(pending, i)
+	}
+
+	// Remote phase: offer the pending candidates to the dispatcher. Its
+	// report callback lands outcomes exactly where a local evaluation
+	// would — the outs slice and the checkpoint — so the assembly below
+	// cannot tell (and the output bytes do not reflect) where a candidate
+	// ran. Whatever the dispatcher could not resolve stays pending for the
+	// local pool.
+	if h.Dispatch != nil && len(pending) > 0 {
+		var mu sync.Mutex
+		sh := BuildShard(cands, pending, models, spec, opt, h)
+		h.Dispatch(ctx, sh, func(o ShardOutcome) {
+			if o.Index < 0 || o.Index >= len(outs) {
+				slog.WarnContext(ctx, "dse: dispatcher reported out-of-range candidate",
+					"index", o.Index, "candidates", len(outs))
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if outs[o.Index].done {
+				return // duplicate report (hedged dispatch): first one won
+			}
+			var err error
+			if o.Row == nil {
+				err = guard.KindError(o.Kind, o.Err)
+			}
+			cand := cands[o.Index]
+			if err != nil {
+				mEvalFailures.Inc()
+				slog.WarnContext(ctx, "dse: candidate failed remotely, skipping",
+					"point", cand.Point.String(), "kind", guard.Kind(err), "err", err)
+				outs[o.Index] = outcome{err: err, done: true}
+			} else {
+				outs[o.Index] = outcome{row: *o.Row, done: true}
+			}
+			mRemote.Inc()
+			if h.Checkpoint != nil {
+				if err != nil {
+					h.Checkpoint.RecordFailure(cand.Point, err)
+				} else {
+					h.Checkpoint.Record(cand.Point, *o.Row)
+				}
+				if ferr := h.Checkpoint.Flush(); ferr != nil {
+					slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
+				}
+			}
+		})
+		remaining := pending[:0]
+		for _, i := range pending {
+			if !outs[i].done {
+				remaining = append(remaining, i)
+			}
+		}
+		if len(remaining) > 0 && guard.CtxErr(ctx) == nil {
+			slog.WarnContext(ctx, "dse: dispatcher left candidates unresolved, evaluating locally",
+				"unresolved", len(remaining), "dispatched", len(pending))
+		}
+		span.SetInt("remote_resolved", int64(len(pending)-len(remaining)))
+		pending = remaining
 	}
 
 	var completed atomic.Int64

@@ -1,0 +1,139 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"neurometer/internal/chip"
+	"neurometer/internal/graph"
+	"neurometer/internal/guard"
+	"neurometer/internal/perfsim"
+	"neurometer/internal/workloads"
+)
+
+// The fleet wire protocol. A shard is a self-contained slice of a runtime
+// study: everything a remote worker needs to evaluate a set of candidates
+// — batch regime, options, workload names, and per-candidate chip configs
+// — plus the study-local index of each candidate so the coordinator can
+// merge outcomes back by position. Every field round-trips exactly through
+// JSON (configs are ints/strings/exact floats, rows are float64s with
+// round-trip-exact encoding), and the simulator is deterministic, so a row
+// computed on any worker is bit-identical to the row a local evaluation
+// would have produced. That is the whole byte-identity argument for
+// distributed studies: the fleet only changes *where* a candidate runs,
+// never *what* it computes.
+
+// ShardCandidate is one design point of a shard, addressed by its index in
+// the study's candidate list.
+type ShardCandidate struct {
+	Index  int         `json:"index"`
+	Point  Point       `json:"point"`
+	Config chip.Config `json:"config"`
+}
+
+// Shard is the /v1/worker/eval request body.
+type Shard struct {
+	Spec   BatchSpec        `json:"spec"`
+	Opt    perfsim.Options  `json:"opt"`
+	Models []string         `json:"models"`
+	Cands  []ShardCandidate `json:"cands"`
+	// Worker-side hardening: per-candidate deadline and bounded retry,
+	// mirroring Hardening.
+	CandidateTimeoutMS int64 `json:"candidate_timeout_ms,omitempty"`
+	MaxRetries         int   `json:"max_retries,omitempty"`
+}
+
+// ShardOutcome is one candidate's resolved result: a row, or a failure in
+// (kind, msg) form. guard.KindError reconstructs the failure coordinator-
+// side with the exact message and taxonomy class, so a remotely failed
+// candidate lands in the checkpoint byte-identically to a local failure.
+type ShardOutcome struct {
+	Index int         `json:"index"`
+	Row   *RuntimeRow `json:"row,omitempty"`
+	Kind  string      `json:"kind,omitempty"`
+	Err   string      `json:"err,omitempty"`
+}
+
+// ShardResult is the /v1/worker/eval response body.
+type ShardResult struct {
+	Outcomes []ShardOutcome `json:"outcomes"`
+}
+
+// BuildShard packages the candidates at the given study indices for remote
+// evaluation under h's per-candidate hardening knobs.
+func BuildShard(cands []Candidate, indices []int, models []*graph.Graph, spec BatchSpec, opt perfsim.Options, h Hardening) Shard {
+	sh := Shard{
+		Spec:               spec,
+		Opt:                opt,
+		CandidateTimeoutMS: int64(h.CandidateTimeout / time.Millisecond),
+		MaxRetries:         h.MaxRetries,
+	}
+	for _, g := range models {
+		sh.Models = append(sh.Models, g.Name)
+	}
+	for _, i := range indices {
+		sh.Cands = append(sh.Cands, ShardCandidate{
+			Index:  i,
+			Point:  cands[i].Point,
+			Config: cands[i].Chip.Cfg,
+		})
+	}
+	return sh
+}
+
+// EvalShard is the worker side of the fleet protocol: rebuild each
+// candidate's chip from its config (memoized through chip.BuildCached),
+// evaluate it over the workload set under the shard's hardening knobs, and
+// report one outcome per candidate. Candidate failures are outcomes, not
+// errors — a shard full of infeasible points still succeeds. EvalShard
+// itself fails only on malformed shards (unknown workloads, no candidates)
+// or when ctx dies mid-shard, in which case the coordinator retries the
+// whole shard elsewhere (re-evaluation is free of side effects and
+// deterministic).
+func EvalShard(ctx context.Context, sh Shard, workers int) ([]ShardOutcome, error) {
+	if len(sh.Cands) == 0 {
+		return nil, guard.Invalid("dse: shard: no candidates")
+	}
+	if len(sh.Models) == 0 {
+		return nil, guard.Invalid("dse: shard: no models")
+	}
+	models := make([]*graph.Graph, 0, len(sh.Models))
+	for _, name := range sh.Models {
+		g, err := workloads.ByName(name)
+		if err != nil {
+			return nil, guard.Invalid("dse: shard: %v", err)
+		}
+		models = append(models, g)
+	}
+	h := Hardening{
+		CandidateTimeout: time.Duration(sh.CandidateTimeoutMS) * time.Millisecond,
+		MaxRetries:       sh.MaxRetries,
+	}
+	outs := make([]ShardOutcome, len(sh.Cands))
+	runPool(ctx, len(sh.Cands), workers, func(i int) {
+		sc := sh.Cands[i]
+		outs[i] = evalShardCandidate(ctx, sc, models, sh.Spec, sh.Opt, h)
+	})
+	if err := guard.CtxErr(ctx); err != nil {
+		return nil, fmt.Errorf("dse: shard interrupted: %w", err)
+	}
+	return outs, nil
+}
+
+// evalShardCandidate rebuilds and evaluates one shard candidate.
+func evalShardCandidate(ctx context.Context, sc ShardCandidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options, h Hardening) ShardOutcome {
+	out := ShardOutcome{Index: sc.Index}
+	c, err := chip.BuildCached(sc.Config)
+	if err == nil {
+		cand := Candidate{Point: sc.Point, Chip: c, PeakTOPS: c.PeakTOPS()}
+		var row RuntimeRow
+		row, err = evalWithRetry(ctx, cand, models, spec, opt, h)
+		if err == nil {
+			out.Row = &row
+			return out
+		}
+	}
+	out.Kind, out.Err = guard.Kind(err), err.Error()
+	return out
+}

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"neurometer/internal/obs"
+)
+
+// Per-worker circuit breaker. A worker that keeps failing stops receiving
+// shards (open) until a cooldown elapses, then gets exactly one probe shard
+// (half-open): success closes the breaker, failure re-opens it. This keeps
+// a crashed or wedged worker from absorbing — and timing out — a lease per
+// retry while healthy workers sit idle, and it gives a recovered worker a
+// cheap way back into rotation.
+//
+// State is exported as a gauge per worker (fleet.breaker_state.<worker>):
+// 0 closed, 1 half-open, 2 open — matching the state constants below.
+
+const (
+	stClosed   = 0
+	stHalfOpen = 1
+	stOpen     = 2
+)
+
+type breaker struct {
+	mu      sync.Mutex
+	state   int
+	fails   int       // consecutive failures while closed
+	until   time.Time // open: when the cooldown ends
+	probing bool      // half-open: the single probe is in flight
+	gauge   *obs.Gauge
+}
+
+func newBreaker(gauge *obs.Gauge) *breaker {
+	b := &breaker{gauge: gauge}
+	gauge.Set(stClosed)
+	return b
+}
+
+func (b *breaker) set(state int) {
+	b.state = state
+	b.gauge.Set(float64(state))
+}
+
+// allow reports whether the worker may receive a shard now. In half-open it
+// reserves the single probe slot for the caller — a true return is a
+// commitment to report success() or failure() for the attempt.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stClosed:
+		return true
+	case stOpen:
+		if now.Before(b.until) {
+			return false
+		}
+		b.set(stHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success closes the breaker: the worker is healthy again.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails = 0
+	if b.state != stClosed {
+		b.set(stClosed)
+	}
+}
+
+// failure records a worker-attributable failure. A failed half-open probe
+// re-opens immediately; threshold consecutive failures while closed trip
+// the breaker open for cooldown.
+func (b *breaker) failure(threshold int, cooldown time.Duration, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == stHalfOpen {
+		b.trip(cooldown, now)
+		return
+	}
+	if b.state == stClosed {
+		b.fails++
+		if b.fails >= threshold {
+			b.trip(cooldown, now)
+		}
+	}
+}
+
+func (b *breaker) trip(cooldown time.Duration, now time.Time) {
+	b.set(stOpen)
+	b.until = now.Add(cooldown)
+	b.fails = 0
+}
+
+// current returns the state for tests and introspection.
+func (b *breaker) current() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

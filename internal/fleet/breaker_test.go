@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"neurometer/internal/obs"
+)
+
+// TestBreakerLifecycle walks the full state machine: closed → (threshold
+// failures) → open → (cooldown) → half-open → (probe success) → closed.
+func TestBreakerLifecycle(t *testing.T) {
+	g := obs.NewGauge("fleet.breaker_state.test-lifecycle")
+	b := newBreaker(g)
+	now := time.Unix(1000, 0)
+	const threshold = 3
+	const cooldown = 10 * time.Second
+
+	// Closed: admits shards, absorbs sub-threshold failures.
+	for i := 0; i < threshold-1; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker must admit (failure %d)", i)
+		}
+		b.failure(threshold, cooldown, now)
+	}
+	if b.current() != stClosed {
+		t.Fatalf("breaker opened below threshold: state %d", b.current())
+	}
+
+	// A success while closed resets the consecutive-failure count.
+	b.success()
+	for i := 0; i < threshold-1; i++ {
+		b.failure(threshold, cooldown, now)
+	}
+	if b.current() != stClosed {
+		t.Fatalf("success did not reset the failure count: state %d", b.current())
+	}
+
+	// The threshold-th consecutive failure trips it open.
+	b.failure(threshold, cooldown, now)
+	if b.current() != stOpen {
+		t.Fatalf("breaker did not open at threshold: state %d", b.current())
+	}
+	if g.Value() != stOpen {
+		t.Fatalf("breaker gauge = %v, want %d", g.Value(), stOpen)
+	}
+
+	// Open: rejects until the cooldown elapses.
+	if b.allow(now.Add(cooldown / 2)) {
+		t.Fatal("open breaker admitted a shard before cooldown")
+	}
+
+	// Cooldown over: half-open, exactly one probe admitted.
+	probeTime := now.Add(cooldown + time.Second)
+	if !b.allow(probeTime) {
+		t.Fatal("breaker must admit a probe after cooldown")
+	}
+	if b.current() != stHalfOpen {
+		t.Fatalf("breaker after cooldown = %d, want half-open (%d)", b.current(), stHalfOpen)
+	}
+	if b.allow(probeTime) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe success closes it.
+	b.success()
+	if b.current() != stClosed {
+		t.Fatalf("probe success did not close the breaker: state %d", b.current())
+	}
+	if g.Value() != stClosed {
+		t.Fatalf("breaker gauge = %v, want %d", g.Value(), stClosed)
+	}
+	if !b.allow(probeTime) {
+		t.Fatal("closed breaker must admit")
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed half-open probe re-opens the
+// breaker immediately for another full cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := newBreaker(obs.NewGauge("fleet.breaker_state.test-reopen"))
+	now := time.Unix(2000, 0)
+	const cooldown = 10 * time.Second
+
+	b.failure(1, cooldown, now)
+	if b.current() != stOpen {
+		t.Fatalf("threshold-1 breaker must open on first failure: state %d", b.current())
+	}
+	probeTime := now.Add(cooldown + time.Second)
+	if !b.allow(probeTime) {
+		t.Fatal("breaker must admit a probe after cooldown")
+	}
+	b.failure(1, cooldown, probeTime)
+	if b.current() != stOpen {
+		t.Fatalf("failed probe must re-open the breaker: state %d", b.current())
+	}
+	if b.allow(probeTime.Add(cooldown / 2)) {
+		t.Fatal("re-opened breaker admitted before a fresh cooldown")
+	}
+	// And the fresh cooldown counts from the probe failure.
+	if !b.allow(probeTime.Add(cooldown + time.Second)) {
+		t.Fatal("re-opened breaker must probe again after its new cooldown")
+	}
+}
+
+// TestBreakerProbeReleasedOnOutcome: the single half-open probe slot is
+// released by either outcome, never leaked.
+func TestBreakerProbeReleasedOnOutcome(t *testing.T) {
+	b := newBreaker(obs.NewGauge("fleet.breaker_state.test-release"))
+	now := time.Unix(3000, 0)
+	const cooldown = time.Second
+
+	b.failure(1, cooldown, now)
+	probeTime := now.Add(2 * cooldown)
+	if !b.allow(probeTime) {
+		t.Fatal("probe not admitted")
+	}
+	b.failure(1, cooldown, probeTime) // probe fails → open again
+	next := probeTime.Add(2 * cooldown)
+	if !b.allow(next) {
+		t.Fatal("probe slot leaked: second probe not admitted after cooldown")
+	}
+	b.success()
+	if b.current() != stClosed {
+		t.Fatalf("state %d, want closed", b.current())
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"http://10.0.0.7:8080":    "10.0.0.7_8080",
+		"https://w1.example.com/": "w1.example.com_",
+		"host:1234":               "host_1234",
+	}
+	for in, want := range cases {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

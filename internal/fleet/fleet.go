@@ -1,0 +1,468 @@
+// Package fleet distributes a DSE runtime study across worker processes.
+//
+// The coordinator side plugs into dse.Hardening.Dispatch: it splits the
+// pending candidates into shards, posts each shard to a worker's
+// /v1/worker/eval endpoint, and reports the outcomes back into the study.
+// The worker side is dse.EvalShard behind an HTTP handler (internal/serve).
+//
+// Robustness envelope, per shard:
+//
+//   - Lease: every attempt runs under a LeaseTTL deadline. A worker that
+//     stalls or dies mid-shard forfeits its lease and the shard is requeued
+//     (fleet.lease_expired_total).
+//   - Retry: transient failures (guard.Retryable — unavailability and
+//     timeouts) retry on another worker under exponential backoff with full
+//     jitter (guard.Backoff, fleet.retries_total), up to MaxAttempts.
+//   - Breaker: consecutive worker-attributable failures open a per-worker
+//     circuit breaker; an open worker receives nothing until a cooldown,
+//     then a single half-open probe decides (breaker.go).
+//   - Hedge: if a shard's first attempt has not resolved after HedgeAfter,
+//     a second attempt launches on a different worker; the first result
+//     wins and the loser is canceled (fleet.hedges_total).
+//   - Degradation: a shard that exhausts its attempts — or finds every
+//     breaker open — is simply not reported; RuntimeStudyHardened evaluates
+//     those candidates in-process. Losing the whole fleet slows a study
+//     down, it never fails or changes it.
+//
+// Determinism: workers run the same deterministic simulator on the same
+// exactly-serialized configs, the coordinator merges outcomes by candidate
+// index, and duplicate reports (hedging) are idempotent — so tables, CSV,
+// and checkpoint files are byte-identical to a serial in-process run at any
+// fleet size and any failure schedule. That property is what makes every
+// retry safe: re-evaluating a candidate cannot change the answer.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neurometer/internal/dse"
+	"neurometer/internal/guard"
+	"neurometer/internal/obs"
+)
+
+var (
+	gShardsInflight = obs.NewGauge("fleet.shards_inflight")
+	mShards         = obs.NewCounter("fleet.shards_total")
+	mRetries        = obs.NewCounter("fleet.retries_total")
+	mHedges         = obs.NewCounter("fleet.hedges_total")
+	mLeaseExpired   = obs.NewCounter("fleet.lease_expired_total")
+	mAbandoned      = obs.NewCounter("fleet.shards_abandoned_total")
+)
+
+// Defaults for the zero-valued Config knobs.
+const (
+	defaultShardSize        = 4
+	defaultLeaseTTL         = 2 * time.Minute
+	defaultHedgeAfter       = 15 * time.Second
+	defaultMaxAttempts      = 4
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 10 * time.Second
+
+	// maxResponseBytes bounds how much of a worker response the
+	// coordinator will read — a confused worker cannot OOM the study.
+	maxResponseBytes = 64 << 20
+)
+
+// Config parameterizes a Coordinator. The zero value of every knob except
+// Workers resolves to a sensible default.
+type Config struct {
+	// Workers are the base URLs of neurometerd worker processes, e.g.
+	// "http://10.0.0.7:8080". At least one is required.
+	Workers []string
+	// ShardSize is the number of candidates per shard. Smaller shards
+	// spread better and lose less work per worker death; larger shards
+	// amortize HTTP overhead.
+	ShardSize int
+	// LeaseTTL bounds one shard attempt on one worker. An attempt that
+	// overruns is canceled and the shard requeued elsewhere.
+	LeaseTTL time.Duration
+	// HedgeAfter launches a second attempt on a different worker if the
+	// first has not resolved in time; first result wins. <0 disables
+	// hedging.
+	HedgeAfter time.Duration
+	// MaxAttempts bounds how many times one shard is tried (hedges do not
+	// count) before its candidates fall back to local evaluation.
+	MaxAttempts int
+	// Backoff paces retries (full jitter; see guard.Backoff).
+	Backoff guard.Backoff
+	// BreakerThreshold consecutive failures open a worker's breaker;
+	// BreakerCooldown later it gets a half-open probe.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Client is the HTTP client used for worker calls. Defaults to a
+	// dedicated client with no overall timeout: attempts are bounded by
+	// the lease context, not the transport.
+	Client *http.Client
+}
+
+// Coordinator shards studies across a worker fleet. Safe for concurrent
+// use; one Coordinator can serve many studies.
+type Coordinator struct {
+	cfg      Config
+	workers  []string // normalized base URLs
+	breakers []*breaker
+	client   *http.Client
+	rr       atomic.Int64 // round-robin cursor
+}
+
+// New validates cfg, applies defaults, and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, guard.Invalid("fleet: no workers configured")
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = defaultShardSize
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = defaultLeaseTTL
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = defaultHedgeAfter
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = defaultMaxAttempts
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = defaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = defaultBreakerCooldown
+	}
+	c := &Coordinator{cfg: cfg, client: cfg.Client}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	for _, w := range cfg.Workers {
+		w = strings.TrimRight(w, "/")
+		if w == "" {
+			return nil, guard.Invalid("fleet: empty worker URL")
+		}
+		if !strings.Contains(w, "://") {
+			w = "http://" + w
+		}
+		c.workers = append(c.workers, w)
+		c.breakers = append(c.breakers,
+			newBreaker(obs.NewGauge("fleet.breaker_state."+metricName(w))))
+	}
+	return c, nil
+}
+
+// metricName flattens a worker URL into a metric-name-safe suffix.
+func metricName(url string) string {
+	if i := strings.Index(url, "://"); i >= 0 {
+		url = url[i+3:]
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, url)
+}
+
+// Workers returns the normalized worker base URLs.
+func (c *Coordinator) Workers() []string { return append([]string(nil), c.workers...) }
+
+// Dispatch implements dse.Hardening.Dispatch: shard the pending candidates,
+// evaluate the shards across the fleet under the robustness envelope, and
+// report resolved outcomes. Returns when every shard has either resolved or
+// been abandoned to local evaluation; report may be called from multiple
+// goroutines (the dse merge is mutex-protected and idempotent).
+func (c *Coordinator) Dispatch(ctx context.Context, sh dse.Shard, report func(dse.ShardOutcome)) {
+	ctx, span := obs.Start(ctx, "fleet.dispatch")
+	defer span.End()
+	span.SetInt("candidates", int64(len(sh.Cands)))
+	span.SetInt("workers", int64(len(c.workers)))
+
+	shards := splitShard(sh, c.cfg.ShardSize)
+	span.SetInt("shards", int64(len(shards)))
+
+	// Bound concurrency to a small multiple of the fleet size: enough to
+	// keep every worker busy plus hedges, without thousands of goroutines
+	// contending for leases on a huge study.
+	sem := make(chan struct{}, 2*len(c.workers))
+	var wg sync.WaitGroup
+	for _, sub := range shards {
+		wg.Add(1)
+		go func(sub dse.Shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c.runShard(ctx, sub, report)
+		}(sub)
+	}
+	wg.Wait()
+}
+
+// splitShard cuts a shard into sub-shards of at most size candidates.
+func splitShard(sh dse.Shard, size int) []dse.Shard {
+	var out []dse.Shard
+	for lo := 0; lo < len(sh.Cands); lo += size {
+		hi := lo + size
+		if hi > len(sh.Cands) {
+			hi = len(sh.Cands)
+		}
+		sub := sh
+		sub.Cands = sh.Cands[lo:hi]
+		out = append(out, sub)
+	}
+	return out
+}
+
+// runShard drives one shard to resolution or abandonment: retry loop with
+// backoff around hedged attempts.
+func (c *Coordinator) runShard(ctx context.Context, sub dse.Shard, report func(dse.ShardOutcome)) {
+	mShards.Inc()
+	gShardsInflight.Add(1)
+	defer gShardsInflight.Add(-1)
+
+	avoid := -1 // worker that failed the previous attempt
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if guard.CtxErr(ctx) != nil {
+			return
+		}
+		if attempt > 0 {
+			mRetries.Inc()
+			if err := c.cfg.Backoff.Sleep(ctx, attempt-1); err != nil {
+				return
+			}
+		}
+		res, worker, err := c.attempt(ctx, sub, avoid)
+		if err == nil {
+			for _, o := range res.Outcomes {
+				report(o)
+			}
+			return
+		}
+		avoid = worker
+		if !guard.Retryable(err) {
+			// Canceled ctx, or a permanent rejection (the worker called
+			// the shard malformed) — retrying cannot help. Unreported
+			// candidates fall back to local evaluation.
+			if guard.CtxErr(ctx) == nil {
+				mAbandoned.Inc()
+				slog.WarnContext(ctx, "fleet: shard failed permanently, falling back to local evaluation",
+					"candidates", len(sub.Cands), "kind", guard.Kind(err), "err", err)
+			}
+			return
+		}
+		slog.WarnContext(ctx, "fleet: shard attempt failed, will retry",
+			"attempt", attempt+1, "max_attempts", c.cfg.MaxAttempts,
+			"candidates", len(sub.Cands), "kind", guard.Kind(err), "err", err)
+	}
+	mAbandoned.Inc()
+	slog.WarnContext(ctx, "fleet: shard exhausted its attempts, falling back to local evaluation",
+		"candidates", len(sub.Cands), "attempts", c.cfg.MaxAttempts)
+}
+
+// attempt runs one (possibly hedged) shard attempt. It returns the result,
+// or the index of the worker to avoid next time and the classified error.
+func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid int) (*dse.ShardResult, int, error) {
+	primary := c.pick(avoid, -1)
+	if primary < 0 {
+		// Every breaker is open: nothing to try until a cooldown elapses.
+		return nil, avoid, guard.Unavailable("fleet: no workers available (all breakers open)")
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // first-result-wins: cancels the losing attempt
+
+	type result struct {
+		res    *dse.ShardResult
+		err    error
+		worker int
+	}
+	ch := make(chan result, 2)
+	launch := func(w int) {
+		go func() {
+			res, err := c.evalOn(actx, w, sub)
+			ch <- result{res, err, w}
+		}()
+	}
+	launch(primary)
+	inflight := 1
+
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 && len(c.workers) > 1 {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var firstErr error
+	firstWorker := primary
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				c.breakers[r.worker].success()
+				return r.res, r.worker, nil
+			}
+			// A loser canceled by first-result-wins would have returned
+			// through the success arm already; here every error is real.
+			// Only worker-attributable transient failures feed the
+			// breaker — a shard the worker rejected as malformed says
+			// nothing about the worker's health.
+			if guard.Retryable(r.err) && guard.CtxErr(ctx) == nil {
+				c.breakers[r.worker].failure(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown, time.Now())
+			}
+			if firstErr == nil {
+				firstErr, firstWorker = r.err, r.worker
+			}
+			if inflight == 0 {
+				return nil, firstWorker, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if w := c.pick(avoid, primary); w >= 0 {
+				mHedges.Inc()
+				slog.DebugContext(ctx, "fleet: hedging slow shard",
+					"primary", c.workers[primary], "hedge", c.workers[w])
+				launch(w)
+				inflight++
+			}
+		case <-ctx.Done():
+			// Let in-flight attempts unwind via actx; their sends land in
+			// the buffered channel.
+			return nil, firstWorker, guard.CtxErr(ctx)
+		}
+	}
+}
+
+// pick selects the next worker in round-robin order whose breaker admits a
+// shard, skipping the excluded indices (pass -1 for none). When only
+// excluded workers are admissible, exclusion is relaxed for `avoid` (a
+// retry may reuse the failed worker if it is the only one left) but never
+// for `not` (a hedge must run on a different worker than its primary).
+func (c *Coordinator) pick(avoid, not int) int {
+	now := time.Now()
+	start := int(c.rr.Add(1)-1) % len(c.workers)
+	if start < 0 {
+		start += len(c.workers)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < len(c.workers); i++ {
+			w := (start + i) % len(c.workers)
+			if w == not {
+				continue
+			}
+			if pass == 0 && w == avoid {
+				continue
+			}
+			if c.breakers[w].allow(now) {
+				return w
+			}
+		}
+	}
+	return -1
+}
+
+// evalOn posts the shard to one worker under a fresh lease and decodes the
+// outcome. Transport failures and 5xx/429 responses classify as retryable
+// unavailability; a lease overrun classifies as a timeout and is counted
+// separately (the requeue-on-expiry signal).
+func (c *Coordinator) evalOn(ctx context.Context, w int, sub dse.Shard) (*dse.ShardResult, error) {
+	lctx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTTL)
+	defer cancel()
+
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return nil, guard.Invalid("fleet: marshal shard: %v", err)
+	}
+	// The worker's own request deadline is aligned with the lease, so a
+	// worker holding an expired lease stops burning CPU on it.
+	url := fmt.Sprintf("%s/v1/worker/eval?timeout_ms=%d",
+		c.workers[w], c.cfg.LeaseTTL/time.Millisecond)
+	req, err := http.NewRequestWithContext(lctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, guard.Invalid("fleet: build request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if leaseExpired(lctx, ctx) {
+			mLeaseExpired.Inc()
+			return nil, guard.KindError("timeout",
+				fmt.Sprintf("fleet: worker %s: lease expired after %v", c.workers[w], c.cfg.LeaseTTL))
+		}
+		if cerr := guard.CtxErr(ctx); cerr != nil {
+			return nil, cerr
+		}
+		return nil, guard.Unavailable("fleet: worker %s: %v", c.workers[w], err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		if leaseExpired(lctx, ctx) {
+			mLeaseExpired.Inc()
+			return nil, guard.KindError("timeout",
+				fmt.Sprintf("fleet: worker %s: lease expired mid-response after %v", c.workers[w], c.cfg.LeaseTTL))
+		}
+		return nil, guard.Unavailable("fleet: worker %s: read response: %v", c.workers[w], err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, classifyStatus(c.workers[w], resp.StatusCode, b)
+	}
+	var res dse.ShardResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, guard.Unavailable("fleet: worker %s: malformed response: %v", c.workers[w], err)
+	}
+	if len(res.Outcomes) != len(sub.Cands) {
+		return nil, guard.Unavailable("fleet: worker %s: returned %d outcomes for %d candidates",
+			c.workers[w], len(res.Outcomes), len(sub.Cands))
+	}
+	return &res, nil
+}
+
+// leaseExpired reports whether the lease deadline fired while the parent
+// dispatch context is still alive — the signature of a worker overrunning
+// its lease, as opposed to the whole study being canceled.
+func leaseExpired(lctx, parent context.Context) bool {
+	return errors.Is(lctx.Err(), context.DeadlineExceeded) && parent.Err() == nil
+}
+
+// classifyStatus maps a worker's non-200 response onto the guard taxonomy:
+// 429 and 5xx are the worker's problem (retryable elsewhere; 504 keeps its
+// timeout identity), anything else 4xx means the coordinator sent a shard
+// the worker permanently rejects.
+func classifyStatus(worker string, status int, body []byte) error {
+	var ae struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	_ = json.Unmarshal(body, &ae)
+	msg := ae.Error
+	if msg == "" {
+		msg = strings.TrimSpace(string(body))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+	}
+	switch {
+	case status == http.StatusGatewayTimeout:
+		return guard.KindError("timeout", fmt.Sprintf("fleet: worker %s: %s", worker, msg))
+	case status == http.StatusTooManyRequests || status >= 500:
+		return guard.Unavailable("fleet: worker %s: status %d: %s", worker, status, msg)
+	default:
+		kind := ae.Kind
+		if kind == "" {
+			kind = "invalid-config"
+		}
+		return guard.KindError(kind, fmt.Sprintf("fleet: worker %s: status %d: %s", worker, status, msg))
+	}
+}

@@ -1,0 +1,76 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayBands checks the full-jitter contract: every delay for
+// attempt n lies in [0, min(Max, Base<<n)], and the cap stops growing at
+// Max.
+func TestBackoffDelayBands(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond}
+	caps := []time.Duration{
+		10 * time.Millisecond, // attempt 0
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		40 * time.Millisecond, // clamped at Max
+		40 * time.Millisecond,
+	}
+	for attempt, want := range caps {
+		for i := 0; i < 200; i++ {
+			d := b.Delay(attempt)
+			if d < 0 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, want)
+			}
+		}
+	}
+	if d := b.Delay(-3); d < 0 || d > caps[0] {
+		t.Fatalf("negative attempt: delay %v outside [0, %v]", d, caps[0])
+	}
+}
+
+// TestBackoffDelayJitters checks the delays are actually dithered — a
+// degenerate constant delay would re-synchronize retry storms.
+func TestBackoffDelayJitters(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Second}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[b.Delay(0)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("50 draws produced %d distinct delays, want jitter", len(seen))
+	}
+}
+
+// TestBackoffDefaults checks the zero value is usable with the documented
+// defaults.
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 100; i++ {
+		if d := b.Delay(0); d < 0 || d > defaultBackoffBase {
+			t.Fatalf("zero-value delay %v outside [0, %v]", d, defaultBackoffBase)
+		}
+		if d := b.Delay(100); d < 0 || d > defaultBackoffMax {
+			t.Fatalf("late-attempt delay %v outside [0, %v]", d, defaultBackoffMax)
+		}
+	}
+}
+
+// TestBackoffSleepHonorsContext checks a canceled ctx cuts the sleep short
+// with the classified cause.
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := Backoff{Base: time.Hour, Max: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already-dead ctx: the hour-scale sleep must not start
+	start := time.Now()
+	err := b.Sleep(ctx, 20)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Sleep under cancellation = %v, want ErrCanceled", err)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("Sleep did not cut short: %v", since)
+	}
+}

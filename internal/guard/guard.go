@@ -50,6 +50,13 @@ var (
 	// error by RecoverTo. Never retryable: panics are deterministic
 	// model bugs, not transient conditions.
 	ErrCandidatePanic = errors.New("candidate panicked")
+
+	// ErrUnavailable marks a transient infrastructure failure: a remote
+	// worker that refused the connection, shed the request, or died
+	// mid-evaluation. The work itself is fine — somewhere else, or later,
+	// it will succeed — so it is retryable under the bounded-backoff
+	// policy.
+	ErrUnavailable = errors.New("unavailable")
 )
 
 // Invalid returns an ErrInvalidConfig-wrapping error with a formatted
@@ -93,16 +100,24 @@ func CtxErr(ctx context.Context) error {
 	return Classify(context.Cause(ctx))
 }
 
+// Unavailable returns an ErrUnavailable-wrapping error with a formatted
+// message.
+func Unavailable(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUnavailable, fmt.Sprintf(format, args...))
+}
+
 // Retryable reports whether a failure is worth re-attempting under the
-// sweeps' bounded-retry policy: only timeouts qualify — config, feasibility,
-// non-finite and panic failures are deterministic.
+// sweeps' bounded-retry policy: timeouts and transient unavailability
+// qualify — config, feasibility, non-finite and panic failures are
+// deterministic.
 func Retryable(err error) bool {
-	return errors.Is(err, ErrTimeout)
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrUnavailable)
 }
 
 // Kind names the taxonomy class of err for structured one-line CLI
 // diagnostics ("invalid-config", "infeasible", "non-finite", "timeout",
-// "canceled", "panic") or "error" for errors outside the taxonomy.
+// "canceled", "panic", "unavailable") or "error" for errors outside the
+// taxonomy.
 func Kind(err error) string {
 	switch {
 	case errors.Is(err, ErrInvalidConfig):
@@ -117,8 +132,56 @@ func Kind(err error) string {
 		return "canceled"
 	case errors.Is(err, ErrCandidatePanic):
 		return "panic"
+	case errors.Is(err, ErrUnavailable):
+		return "unavailable"
 	}
 	return "error"
+}
+
+// baseForKind inverts Kind: the taxonomy sentinel a kind string names, or
+// nil for "error"/unknown kinds.
+func baseForKind(kind string) error {
+	switch kind {
+	case "invalid-config":
+		return ErrInvalidConfig
+	case "infeasible":
+		return ErrInfeasible
+	case "non-finite":
+		return ErrNonFinite
+	case "timeout":
+		return ErrTimeout
+	case "canceled":
+		return ErrCanceled
+	case "panic":
+		return ErrCandidatePanic
+	case "unavailable":
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// kindError carries a reconstructed failure: the exact original message,
+// classified under the taxonomy via errors.Is.
+type kindError struct {
+	base error
+	msg  string
+}
+
+func (e *kindError) Error() string        { return e.msg }
+func (e *kindError) Is(target error) bool { return target == e.base }
+
+// KindError reconstructs a failure from its (kind, message) wire form —
+// the shape checkpoints and the fleet protocol serialize — so that
+// Kind(err) returns kind again, errors.Is classification works, and
+// err.Error() is byte-identical to the original message (a failure that
+// crosses a process boundary and is re-recorded must not mutate). Unknown
+// kinds fall back to a plain error.
+func KindError(kind, msg string) error {
+	base := baseForKind(kind)
+	if base == nil {
+		return errors.New(msg)
+	}
+	return &kindError{base: base, msg: msg}
 }
 
 // CheckFinite returns an ErrNonFinite error when v is NaN or ±Inf, nil

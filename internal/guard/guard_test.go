@@ -60,6 +60,9 @@ func TestRetryable(t *testing.T) {
 	if !Retryable(Classify(context.DeadlineExceeded)) {
 		t.Errorf("timeouts must be retryable")
 	}
+	if !Retryable(Unavailable("connection refused")) {
+		t.Errorf("transient unavailability must be retryable")
+	}
 	for _, err := range []error{
 		Invalid("bad"), Infeasible("none"), NonFinite("x", math.Inf(1)),
 		Classify(context.Canceled),
@@ -78,6 +81,7 @@ func TestKind(t *testing.T) {
 		"non-finite":     NonFinite("z", math.NaN()),
 		"timeout":        Classify(context.DeadlineExceeded),
 		"canceled":       Classify(context.Canceled),
+		"unavailable":    Unavailable("worker gone"),
 		"error":          errors.New("misc"),
 	}
 	for want, err := range cases {
@@ -92,6 +96,36 @@ func TestKind(t *testing.T) {
 	}()
 	if Kind(panicked) != "panic" {
 		t.Errorf("Kind(recovered panic) = %q", Kind(panicked))
+	}
+}
+
+// TestKindErrorRoundTrip checks KindError inverts Kind exactly: the
+// reconstructed error classifies under the same taxonomy member and its
+// message is byte-identical to the original — the property the checkpoint
+// files and the fleet wire protocol rely on to stay deterministic across
+// process boundaries.
+func TestKindErrorRoundTrip(t *testing.T) {
+	originals := []error{
+		Invalid("bad field"),
+		Infeasible("no mapping"),
+		NonFinite("tops", math.NaN()),
+		Classify(context.DeadlineExceeded),
+		Classify(context.Canceled),
+		Unavailable("worker gone"),
+	}
+	for _, orig := range originals {
+		re := KindError(Kind(orig), orig.Error())
+		if re.Error() != orig.Error() {
+			t.Errorf("KindError mutated the message: %q -> %q", orig.Error(), re.Error())
+		}
+		if Kind(re) != Kind(orig) {
+			t.Errorf("KindError lost the kind: %q -> %q", Kind(orig), Kind(re))
+		}
+	}
+	// Unknown kinds degrade to a plain error with the message intact.
+	re := KindError("martian", "weird failure")
+	if re.Error() != "weird failure" || Kind(re) != "error" {
+		t.Errorf("unknown kind: %v (kind %q)", re, Kind(re))
 	}
 }
 

@@ -25,6 +25,7 @@ const StatusClientClosedRequest = 499
 //	ErrInfeasible     422 Unprocessable Entity (well-formed, no feasible chip)
 //	ErrTimeout        504 Gateway Timeout      (deadline expired mid-evaluation)
 //	ErrCanceled       499                      (client went away)
+//	ErrUnavailable    503 Service Unavailable  (transient; retry with backoff)
 //	ErrNonFinite      500 Internal Server Error (model produced NaN/Inf)
 //	ErrCandidatePanic 500 Internal Server Error (recovered model panic)
 //	anything else     500 Internal Server Error
@@ -45,6 +46,8 @@ func HTTPStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrCanceled):
 		return StatusClientClosedRequest
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }

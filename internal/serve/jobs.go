@@ -354,7 +354,7 @@ func (st *jobStore) shutdown(ctx context.Context) error {
 
 func (s *Server) studySubmit(r *http.Request) (int, any, error) {
 	var req StudyRequest
-	if err := decodeBody(r, s.cfg.MaxBodyBytes, &req); err != nil {
+	if err := decodeBody(r, &req); err != nil {
 		return 0, nil, err
 	}
 	spec, err := req.spec()
@@ -369,6 +369,9 @@ func (s *Server) studySubmit(r *http.Request) (int, any, error) {
 		CandidateTimeout: time.Duration(req.CandidateTimeoutMS) * time.Millisecond,
 		MaxRetries:       req.Retries,
 		Workers:          s.cfg.Workers,
+		// In coordinator mode, studies shard across the worker fleet;
+		// whatever the fleet cannot resolve is evaluated in-process.
+		Dispatch: s.cfg.Dispatch,
 	}
 	if req.Workers > 0 {
 		hard.Workers = req.Workers

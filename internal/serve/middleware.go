@@ -4,7 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
+	"math/rand"
+	"mime"
 	"net/http"
 	"strconv"
 	"time"
@@ -33,6 +36,29 @@ type apiError struct {
 	Kind  string `json:"kind"`
 }
 
+// Serve-level rejections outside the guard taxonomy: an oversized request
+// body (413, kind=too-large) and a POST with a non-JSON Content-Type (415,
+// kind=unsupported-media). Both are client errors the model layers never
+// see.
+var (
+	ErrTooLarge         = errors.New("request body too large")
+	ErrUnsupportedMedia = errors.New("unsupported content type")
+)
+
+// errKind names an error for the wire: serve sentinels get their own kinds,
+// everything else falls through to the guard taxonomy.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, ErrShed):
+		return "shed"
+	case errors.Is(err, ErrTooLarge):
+		return "too-large"
+	case errors.Is(err, ErrUnsupportedMedia):
+		return "unsupported-media"
+	}
+	return guard.Kind(err)
+}
+
 // handlerFunc is a model endpoint: it returns the response body (marshaled
 // as JSON) and an optional non-200 success status. Failures return a guard
 // taxonomy error; the middleware maps it to the HTTP status.
@@ -51,6 +77,18 @@ func (s *Server) handle(endpoint string, lim *limiter, h handlerFunc) http.Handl
 			gInflight.Add(-1)
 			mReqSeconds.Observe(time.Since(start).Seconds())
 		}()
+
+		if r.Method == http.MethodPost {
+			if err := checkContentType(r); err != nil {
+				s.writeError(w, r, endpoint, err)
+				return
+			}
+			// MaxBytesReader (unlike a bare LimitReader) closes the
+			// connection on overflow and surfaces a typed error decodeBody
+			// maps to 413 — a client streaming an oversized body cannot
+			// tie up the decoder.
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
 
 		if lim != nil {
 			release, err := lim.acquire(r.Context())
@@ -103,33 +141,62 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return context.WithTimeout(r.Context(), d)
 }
 
-// writeError renders a failure: ErrShed → 429 + Retry-After, everything
-// else through guard.HTTPStatus, with the kind= taxonomy in the body. 5xx
-// responses feed the watchdog; shed and 4xx responses do not (the server
-// is behaving as designed).
+// checkContentType rejects POSTs whose declared Content-Type is not JSON.
+// An absent Content-Type is tolerated — the body decoder is the arbiter
+// then — but an explicit wrong declaration (a form post, a file upload) is
+// a client bug better reported as 415 than as a JSON parse error.
+func checkContentType(r *http.Request) error {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return fmt.Errorf("%w: malformed Content-Type %q", ErrUnsupportedMedia, ct)
+	}
+	if mt != "application/json" {
+		return fmt.Errorf("%w: %q (this API speaks application/json)", ErrUnsupportedMedia, mt)
+	}
+	return nil
+}
+
+// writeError renders a failure: ErrShed → 429 + Retry-After, ErrTooLarge →
+// 413, ErrUnsupportedMedia → 415, everything else through guard.HTTPStatus,
+// with the kind= taxonomy in the body. 5xx responses feed the watchdog;
+// shed and 4xx responses do not (the server is behaving as designed).
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, endpoint string, err error) {
 	status := guard.HTTPStatus(err)
-	if errors.Is(err, ErrShed) {
+	switch {
+	case errors.Is(err, ErrShed):
 		status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", s.retryAfter())
 		mShed.Inc()
+	case errors.Is(err, ErrTooLarge):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrUnsupportedMedia):
+		status = http.StatusUnsupportedMediaType
 	}
 	if status >= 500 {
 		mErrors5xx.Inc()
 		s.wd.fail()
 		slog.Warn("serve: request failed", "endpoint", endpoint,
-			"status", status, "kind", guard.Kind(err), "err", err)
+			"status", status, "kind", errKind(err), "err", err)
 	}
-	writeJSON(w, status, apiError{Error: err.Error(), Kind: guard.Kind(err)})
+	writeJSON(w, status, apiError{Error: err.Error(), Kind: errKind(err)})
 }
 
 // retryAfter hints how long a shed client should back off: the admission
 // deadline rounded up to a whole second (the time a queued slot is most
-// likely to take to free).
+// likely to take to free), plus a uniform 0..RetryAfterJitter seconds of
+// dither so a burst of shed clients does not reconverge on the same retry
+// tick and shed again in lockstep.
 func (s *Server) retryAfter() string {
 	secs := int(s.cfg.AdmissionTimeout / time.Second)
 	if secs < 1 {
 		secs = 1
+	}
+	if j := s.cfg.RetryAfterJitter; j > 0 {
+		secs += rand.Intn(j + 1)
 	}
 	return strconv.Itoa(secs)
 }

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"log/slog"
 	"net"
@@ -23,10 +25,12 @@ import (
 // field falls back to the DefaultConfig value.
 type Config struct {
 	// BuildLimit / SimulateLimit bound concurrent executions per endpoint;
-	// StudyLimit bounds concurrently *running* study jobs.
+	// StudyLimit bounds concurrently *running* study jobs; WorkerLimit
+	// bounds concurrent fleet shard evaluations (/v1/worker/eval).
 	BuildLimit    int
 	SimulateLimit int
 	StudyLimit    int
+	WorkerLimit   int
 	// QueueDepth bounds how many admitted requests may wait for a slot per
 	// endpoint; beyond it requests shed immediately.
 	QueueDepth int
@@ -48,8 +52,18 @@ type Config struct {
 	// JobsDir holds study-job checkpoints; empty disables job persistence
 	// (jobs still run, but do not survive a restart).
 	JobsDir string
-	// MaxBodyBytes bounds request bodies.
+	// MaxBodyBytes bounds request bodies; an overflowing body is rejected
+	// with 413 and kind=too-large.
 	MaxBodyBytes int64
+	// RetryAfterJitter widens the Retry-After hint on 429 responses by a
+	// uniform 0..RetryAfterJitter seconds, de-synchronizing shed clients
+	// that would otherwise all retry on the same tick. Negative disables.
+	RetryAfterJitter int
+	// Dispatch, when non-nil, is installed as dse.Hardening.Dispatch for
+	// study jobs — typically fleet.Coordinator.Dispatch, making this
+	// process the coordinator of a worker fleet. Candidates the dispatcher
+	// cannot resolve are evaluated in-process.
+	Dispatch func(ctx context.Context, sh dse.Shard, report func(dse.ShardOutcome))
 }
 
 // DefaultConfig returns the production defaults.
@@ -58,6 +72,8 @@ func DefaultConfig() Config {
 		BuildLimit:       8,
 		SimulateLimit:    4,
 		StudyLimit:       1,
+		WorkerLimit:      2,
+		RetryAfterJitter: 3,
 		QueueDepth:       16,
 		MaxQueuedJobs:    8,
 		AdmissionTimeout: time.Second,
@@ -79,6 +95,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StudyLimit == 0 {
 		c.StudyLimit = d.StudyLimit
+	}
+	if c.WorkerLimit == 0 {
+		c.WorkerLimit = d.WorkerLimit
+	}
+	if c.RetryAfterJitter == 0 {
+		c.RetryAfterJitter = d.RetryAfterJitter
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = d.QueueDepth
@@ -113,8 +135,9 @@ type Server struct {
 	wd   *watchdog
 	jobs *jobStore
 
-	limBuild *limiter
-	limSim   *limiter
+	limBuild  *limiter
+	limSim    *limiter
+	limWorker *limiter
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -133,6 +156,7 @@ func New(cfg Config) *Server {
 		wd:         &watchdog{threshold: int64(cfg.DegradedAfter)},
 		limBuild:   newLimiter("chip.build", cfg.BuildLimit, cfg.QueueDepth, cfg.AdmissionTimeout, cfg.ShedWatermark),
 		limSim:     newLimiter("perfsim.simulate", cfg.SimulateLimit, cfg.QueueDepth, cfg.AdmissionTimeout, cfg.ShedWatermark),
+		limWorker:  newLimiter("fleet.shard", cfg.WorkerLimit, cfg.QueueDepth, cfg.AdmissionTimeout, 0),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		draining:   make(chan struct{}),
@@ -149,6 +173,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/perfsim/simulate", s.handle("perfsim.simulate", s.limSim, s.simulateHandler))
 	s.mux.Handle("POST /v1/dse/study", s.handle("dse.study", nil, s.studySubmit))
 	s.mux.Handle("GET /v1/dse/study/{id}", s.handle("dse.study.get", nil, s.studyGet))
+	s.mux.Handle("POST /v1/worker/eval", s.handle("worker.eval", s.limWorker, s.workerEval))
 	return s
 }
 
@@ -261,7 +286,7 @@ func (cr ChipRequest) resolve() (*chip.Chip, error) {
 
 func (s *Server) buildHandler(r *http.Request) (int, any, error) {
 	var req ChipRequest
-	if err := decodeBody(r, s.cfg.MaxBodyBytes, &req); err != nil {
+	if err := decodeBody(r, &req); err != nil {
 		return 0, nil, err
 	}
 	if err := guard.CtxErr(r.Context()); err != nil {
@@ -301,7 +326,7 @@ type SimulateResponse struct {
 
 func (s *Server) simulateHandler(r *http.Request) (int, any, error) {
 	var req SimulateRequest
-	if err := decodeBody(r, s.cfg.MaxBodyBytes, &req); err != nil {
+	if err := decodeBody(r, &req); err != nil {
 		return 0, nil, err
 	}
 	g, err := workloads.ByName(req.Workload)
@@ -339,12 +364,43 @@ func (s *Server) simulateHandler(r *http.Request) (int, any, error) {
 	}, nil
 }
 
+// ---- /v1/worker/eval ------------------------------------------------------
+
+// workerEval is the worker side of the fleet protocol: evaluate one shard
+// of a distributed study and return its outcomes. Candidate failures travel
+// inside the 200 response as (kind, msg) outcomes; only a malformed shard
+// (400) or an interrupted evaluation (the coordinator's lease expired and
+// canceled the request) fails the call, in which case the coordinator
+// requeues the shard elsewhere — re-evaluation is deterministic, so a
+// retried shard cannot change the study's output. guard.Inject("fleet.shard")
+// is the chaos hook the fleet tests and the CI chaos job use to fault
+// workers without killing processes.
+func (s *Server) workerEval(r *http.Request) (int, any, error) {
+	var sh dse.Shard
+	if err := decodeBody(r, &sh); err != nil {
+		return 0, nil, err
+	}
+	if err := guard.Inject(r.Context(), "fleet.shard"); err != nil {
+		return 0, nil, err
+	}
+	outs, err := dse.EvalShard(r.Context(), sh, s.cfg.Workers)
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, dse.ShardResult{Outcomes: outs}, nil
+}
+
 // decodeBody reads a bounded JSON request body. Malformed JSON is an
-// invalid-config failure (400), not a server error.
-func decodeBody(r *http.Request, limit int64, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
+// invalid-config failure (400), not a server error; a body past the
+// MaxBytesReader bound (installed by handle) is a 413.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("%w: request body exceeds %d bytes", ErrTooLarge, tooBig.Limit)
+		}
 		return guard.Invalid("request body: %v", err)
 	}
 	return nil
