@@ -10,7 +10,8 @@
 //
 //	GET  /healthz                 liveness (always 200 while the process runs)
 //	GET  /readyz                  readiness (503 while draining or degraded)
-//	GET  /metricz                 metrics snapshot (text, or ?format=json)
+//	GET  /metricz                 metrics snapshot (text, ?format=json, or
+//	                              ?format=prom for Prometheus exposition)
 //	POST /v1/chip/build           chip model report for a preset or inline config
 //	POST /v1/perfsim/simulate     one workload × batch on a chip
 //	POST /v1/dse/study            submit (or resume) an async study job
@@ -36,6 +37,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,6 +72,9 @@ func main() {
 	fleetLease := flag.Duration("fleet-lease", 0, "per-shard lease TTL before requeue (0 = default)")
 	fleetHedge := flag.Duration("fleet-hedge-after", 0, "hedge a straggling shard on a second worker after this long (0 = default, negative disables)")
 	fleetAttempts := flag.Int("fleet-max-attempts", 0, "max attempts per shard before local fallback (0 = default)")
+	accessLog := flag.String("access-log", "stderr", "structured JSON access log destination: stderr, off, or a file path")
+	slowRequest := flag.Duration("slow-request", def.SlowRequest, "flag access-log lines slow=true at or above this latency (negative disables)")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof debug endpoints (empty disables)")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -93,6 +99,18 @@ func main() {
 		WorkerLimit:      *workerLimit,
 		JobsDir:          *jobsDir,
 		RetryAfterJitter: *retryJitter,
+		SlowRequest:      *slowRequest,
+	}
+	logger, closeLog, err := openAccessLog(*accessLog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neurometerd: -access-log: %v\n", err)
+		stop()
+		os.Exit(1)
+	}
+	defer closeLog()
+	cfg.AccessLog = logger
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
 	}
 	if *fleetWorkers != "" {
 		coord, err := fleet.New(fleet.Config{
@@ -114,6 +132,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "neurometerd: %v\n", err)
 		stop()
 		os.Exit(1)
+	}
+}
+
+// openAccessLog resolves the -access-log destination to a JSON slog logger:
+// "off" disables, "stderr" shares the process log stream, anything else is
+// an append-only file. The returned close function flushes the file on
+// drain.
+func openAccessLog(dest string) (*slog.Logger, func(), error) {
+	switch dest {
+	case "off", "":
+		return nil, func() {}, nil
+	case "stderr":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), func() {}, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return slog.New(slog.NewJSONHandler(f, nil)), func() { f.Close() }, nil
+}
+
+// serveDebug mounts net/http/pprof on its own listener, kept off the main
+// service mux so profiling endpoints are never reachable on the public
+// address.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	slog.Info("neurometerd: pprof debug endpoints up", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		slog.Warn("neurometerd: debug listener failed", "addr", addr, "err", err)
 	}
 }
 

@@ -1,0 +1,78 @@
+package dse
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"neurometer/internal/guard"
+	"neurometer/internal/obs"
+)
+
+// checkGaugesDrained asserts the pool gauges returned to zero once a sweep
+// finished — the regression contract for the inflight-slot leak: panics and
+// timeouts inside candidate evaluation must not strand dse.eval_inflight or
+// dse.queue_depth above zero.
+func checkGaugesDrained(t *testing.T) {
+	t.Helper()
+	snap := obs.Default().Snapshot()
+	for _, name := range []string{"dse.eval_inflight", "dse.queue_depth"} {
+		if v := snap.Gauges[name]; v != 0 {
+			t.Errorf("gauge %s = %g after sweep, want 0", name, v)
+		}
+	}
+}
+
+func TestGaugesDrainAfterPanickingCandidates(t *testing.T) {
+	defer guard.DisarmAll()
+	cands, spec, opt := studyFixture(t)
+	models := alexnet(t)
+
+	// Every candidate's simulation panics; the recovery path must still
+	// release its inflight slot.
+	disarm := guard.Arm("perfsim.simulate", guard.Fault{Panic: true})
+	defer disarm()
+
+	_, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt, Hardening{Workers: 2})
+	if err == nil {
+		t.Fatal("want all-candidates-failed error")
+	}
+	checkGaugesDrained(t)
+}
+
+func TestGaugesDrainAfterTimeouts(t *testing.T) {
+	defer guard.DisarmAll()
+	cands, spec, opt := studyFixture(t)
+	models := alexnet(t)
+
+	// Every attempt stalls past the deadline: the evaluator abandons the
+	// candidate goroutine mid-flight, which must not leak a slot.
+	disarm := guard.Arm("perfsim.simulate", guard.Fault{Delay: 10 * time.Second})
+	defer disarm()
+
+	h := Hardening{CandidateTimeout: 20 * time.Millisecond, Workers: 2}
+	_, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt, h)
+	if err == nil {
+		t.Fatal("want all-candidates-failed error")
+	}
+	checkGaugesDrained(t)
+}
+
+func TestGaugesDrainAfterShardFaults(t *testing.T) {
+	defer guard.DisarmAll()
+	cands, spec, opt := studyFixture(t)
+	models := alexnet(t)
+
+	disarm := guard.Arm("perfsim.simulate", guard.Fault{Skip: 1, Count: 1, Panic: true})
+	defer disarm()
+
+	sh := BuildShard(cands, []int{0, 1, 2}, models, spec, opt, Hardening{})
+	outs, err := EvalShard(context.Background(), sh, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes, want 3", len(outs))
+	}
+	checkGaugesDrained(t)
+}

@@ -64,6 +64,14 @@ func runPool(ctx context.Context, n, workers int, fn func(i int)) error {
 	}
 	gQueueDepth.Add(float64(n))
 	var cursor atomic.Int64
+	runOne := func(i int) {
+		gInflight.Add(1)
+		// Deferred so a panic escaping fn (it shouldn't — the evaluators
+		// recover — but a guard fault or future bug could) cannot leak an
+		// inflight slot past the sweep.
+		defer gInflight.Add(-1)
+		fn(i)
+	}
 	work := func() {
 		for {
 			i := int(cursor.Add(1)) - 1
@@ -74,9 +82,7 @@ func runPool(ctx context.Context, n, workers int, fn func(i int)) error {
 			if guard.CtxErr(ctx) != nil {
 				continue // drain the queue gauge, start nothing new
 			}
-			gInflight.Add(1)
-			fn(i)
-			gInflight.Add(-1)
+			runOne(i)
 		}
 	}
 	if workers <= 1 {

@@ -8,6 +8,7 @@ import (
 	"neurometer/internal/chip"
 	"neurometer/internal/graph"
 	"neurometer/internal/guard"
+	"neurometer/internal/obs"
 	"neurometer/internal/perfsim"
 	"neurometer/internal/workloads"
 )
@@ -55,9 +56,14 @@ type ShardOutcome struct {
 	Err   string      `json:"err,omitempty"`
 }
 
-// ShardResult is the /v1/worker/eval response body.
+// ShardResult is the /v1/worker/eval response body. Spans carries the
+// worker's span subtree for the request (present only when the coordinator
+// sent a traceparent header); the coordinator grafts it under the
+// dispatching span so the merged study trace shows remote per-candidate
+// evals in place.
 type ShardResult struct {
 	Outcomes []ShardOutcome `json:"outcomes"`
+	Spans    []obs.WireSpan `json:"spans,omitempty"`
 }
 
 // BuildShard packages the candidates at the given study indices for remote
@@ -113,7 +119,9 @@ func EvalShard(ctx context.Context, sh Shard, workers int) ([]ShardOutcome, erro
 	outs := make([]ShardOutcome, len(sh.Cands))
 	runPool(ctx, len(sh.Cands), workers, func(i int) {
 		sc := sh.Cands[i]
-		outs[i] = evalShardCandidate(ctx, sc, models, sh.Spec, sh.Opt, h)
+		cctx, sp := obs.Start(ctx, "dse.candidate", obs.Int("index", int64(sc.Index)))
+		outs[i] = evalShardCandidate(cctx, sc, models, sh.Spec, sh.Opt, h)
+		sp.End()
 	})
 	if err := guard.CtxErr(ctx); err != nil {
 		return nil, fmt.Errorf("dse: shard interrupted: %w", err)

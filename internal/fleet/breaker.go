@@ -14,8 +14,9 @@ import (
 // retry while healthy workers sit idle, and it gives a recovered worker a
 // cheap way back into rotation.
 //
-// State is exported as a gauge per worker (fleet.breaker_state.<worker>):
-// 0 closed, 1 half-open, 2 open — matching the state constants below.
+// State is exported as a labeled gauge per worker
+// (fleet.breaker_state{worker="<url>"}): 0 closed, 1 half-open, 2 open —
+// matching the state constants below.
 
 const (
 	stClosed   = 0
@@ -79,23 +80,27 @@ func (b *breaker) success() {
 	}
 }
 
-// failure records a worker-attributable failure. A failed half-open probe
-// re-opens immediately; threshold consecutive failures while closed trip
-// the breaker open for cooldown.
-func (b *breaker) failure(threshold int, cooldown time.Duration, now time.Time) {
+// failure records a worker-attributable failure and reports whether this
+// failure tripped the breaker open (callers emit the breaker-open trace
+// event exactly once per trip). A failed half-open probe re-opens
+// immediately; threshold consecutive failures while closed trip the breaker
+// open for cooldown.
+func (b *breaker) failure(threshold int, cooldown time.Duration, now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.probing = false
 	if b.state == stHalfOpen {
 		b.trip(cooldown, now)
-		return
+		return true
 	}
 	if b.state == stClosed {
 		b.fails++
 		if b.fails >= threshold {
 			b.trip(cooldown, now)
+			return true
 		}
 	}
+	return false
 }
 
 func (b *breaker) trip(cooldown time.Duration, now time.Time) {

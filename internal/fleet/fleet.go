@@ -153,7 +153,7 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		c.workers = append(c.workers, w)
 		c.breakers = append(c.breakers,
-			newBreaker(obs.NewGauge("fleet.breaker_state."+metricName(w))))
+			newBreaker(obs.NewGauge(obs.Name("fleet.breaker_state", "worker", metricName(w)))))
 	}
 	return c, nil
 }
@@ -228,6 +228,8 @@ func (c *Coordinator) runShard(ctx context.Context, sub dse.Shard, report func(d
 	mShards.Inc()
 	gShardsInflight.Add(1)
 	defer gShardsInflight.Add(-1)
+	ctx, span := obs.Start(ctx, "fleet.shard", obs.Int("candidates", int64(len(sub.Cands))))
+	defer span.End()
 
 	avoid := -1 // worker that failed the previous attempt
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
@@ -236,6 +238,7 @@ func (c *Coordinator) runShard(ctx context.Context, sub dse.Shard, report func(d
 		}
 		if attempt > 0 {
 			mRetries.Inc()
+			obs.Event(ctx, "fleet.retry", obs.Int("attempt", int64(attempt+1)))
 			if err := c.cfg.Backoff.Sleep(ctx, attempt-1); err != nil {
 				return
 			}
@@ -254,6 +257,7 @@ func (c *Coordinator) runShard(ctx context.Context, sub dse.Shard, report func(d
 			// candidates fall back to local evaluation.
 			if guard.CtxErr(ctx) == nil {
 				mAbandoned.Inc()
+				obs.Event(ctx, "fleet.abandoned", obs.String("kind", guard.Kind(err)))
 				slog.WarnContext(ctx, "fleet: shard failed permanently, falling back to local evaluation",
 					"candidates", len(sub.Cands), "kind", guard.Kind(err), "err", err)
 			}
@@ -264,6 +268,7 @@ func (c *Coordinator) runShard(ctx context.Context, sub dse.Shard, report func(d
 			"candidates", len(sub.Cands), "kind", guard.Kind(err), "err", err)
 	}
 	mAbandoned.Inc()
+	obs.Event(ctx, "fleet.abandoned", obs.String("kind", "attempts-exhausted"))
 	slog.WarnContext(ctx, "fleet: shard exhausted its attempts, falling back to local evaluation",
 		"candidates", len(sub.Cands), "attempts", c.cfg.MaxAttempts)
 }
@@ -318,7 +323,9 @@ func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid int) (*d
 			// breaker — a shard the worker rejected as malformed says
 			// nothing about the worker's health.
 			if guard.Retryable(r.err) && guard.CtxErr(ctx) == nil {
-				c.breakers[r.worker].failure(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown, time.Now())
+				if c.breakers[r.worker].failure(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown, time.Now()) {
+					obs.Event(ctx, "fleet.breaker.open", obs.String("worker", c.workers[r.worker]))
+				}
 			}
 			if firstErr == nil {
 				firstErr, firstWorker = r.err, r.worker
@@ -330,6 +337,8 @@ func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid int) (*d
 			hedgeC = nil
 			if w := c.pick(avoid, primary); w >= 0 {
 				mHedges.Inc()
+				obs.Event(ctx, "fleet.hedge",
+					obs.String("primary", c.workers[primary]), obs.String("hedge", c.workers[w]))
 				slog.DebugContext(ctx, "fleet: hedging slow shard",
 					"primary", c.workers[primary], "hedge", c.workers[w])
 				launch(w)
@@ -375,7 +384,14 @@ func (c *Coordinator) pick(avoid, not int) int {
 // outcome. Transport failures and 5xx/429 responses classify as retryable
 // unavailability; a lease overrun classifies as a timeout and is counted
 // separately (the requeue-on-expiry signal).
+//
+// Tracing: the round trip is a "fleet.eval" span, the request carries the
+// span's W3C traceparent, and the worker's serialized span subtree from the
+// response grafts under the span — so the merged study trace shows remote
+// per-candidate work nested exactly where it ran.
 func (c *Coordinator) evalOn(ctx context.Context, w int, sub dse.Shard) (*dse.ShardResult, error) {
+	ctx, span := obs.Start(ctx, "fleet.eval", obs.String("worker", c.workers[w]))
+	defer span.End()
 	lctx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTTL)
 	defer cancel()
 
@@ -392,11 +408,15 @@ func (c *Coordinator) evalOn(ctx context.Context, w int, sub dse.Shard) (*dse.Sh
 		return nil, guard.Invalid("fleet: build request: %v", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp := obs.Traceparent(ctx); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
 
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if leaseExpired(lctx, ctx) {
 			mLeaseExpired.Inc()
+			obs.Event(ctx, "fleet.lease_expired")
 			return nil, guard.KindError("timeout",
 				fmt.Sprintf("fleet: worker %s: lease expired after %v", c.workers[w], c.cfg.LeaseTTL))
 		}
@@ -410,6 +430,7 @@ func (c *Coordinator) evalOn(ctx context.Context, w int, sub dse.Shard) (*dse.Sh
 	if err != nil {
 		if leaseExpired(lctx, ctx) {
 			mLeaseExpired.Inc()
+			obs.Event(ctx, "fleet.lease_expired")
 			return nil, guard.KindError("timeout",
 				fmt.Sprintf("fleet: worker %s: lease expired mid-response after %v", c.workers[w], c.cfg.LeaseTTL))
 		}
@@ -426,6 +447,7 @@ func (c *Coordinator) evalOn(ctx context.Context, w int, sub dse.Shard) (*dse.Sh
 		return nil, guard.Unavailable("fleet: worker %s: returned %d outcomes for %d candidates",
 			c.workers[w], len(res.Outcomes), len(sub.Cands))
 	}
+	span.Graft(res.Spans)
 	return &res, nil
 }
 

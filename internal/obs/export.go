@@ -9,8 +9,9 @@ import (
 	"time"
 )
 
-// chromeEvent is one Chrome trace-event ("X" complete event). The format
-// is the trace-event JSON consumed by chrome://tracing and Perfetto
+// chromeEvent is one Chrome trace-event: an "X" complete event for spans,
+// or an "i" instant event (thread-scoped) for point events. The format is
+// the trace-event JSON consumed by chrome://tracing and Perfetto
 // (ui.perfetto.dev); timestamps and durations are microseconds.
 type chromeEvent struct {
 	Name string         `json:"name"`
@@ -18,6 +19,7 @@ type chromeEvent struct {
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
 	Dur  float64        `json:"dur"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("t")
 	Pid  int            `json:"pid"`
 	Tid  uint64         `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
@@ -62,6 +64,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Pid:  1,
 			Tid:  ev.track,
 		}
+		if ev.instant {
+			ce.Ph, ce.Dur, ce.S = "i", 0, "t"
+		}
 		if len(ev.attrs) > 0 {
 			ce.Args = map[string]any{}
 			for _, a := range ev.attrs {
@@ -96,12 +101,16 @@ func (n *profNode) child(name string) *profNode {
 
 // Profile renders a top-down text profile: every span path with its call
 // count, cumulative wall time, and self time (cumulative minus children).
+// Instant events carry no duration and are excluded.
 func (t *Tracer) Profile() string {
 	if t == nil {
 		return ""
 	}
 	root := &profNode{children: map[string]*profNode{}}
 	for _, ev := range t.snapshotEvents() {
+		if ev.instant {
+			continue
+		}
 		n := root
 		for _, part := range strings.Split(ev.path, "/") {
 			n = n.child(part)

@@ -20,6 +20,7 @@ type Flags struct {
 	Trace      string // -trace: Chrome trace-event JSON path
 	Metrics    bool   // -metrics: print the metrics snapshot on exit
 	Verbose    bool   // -v: debug logging (span-aware handler on stderr)
+	Version    bool   // -version: print the build identity and exit
 }
 
 // RegisterFlags adds the observability flags to fs (use flag.CommandLine
@@ -31,6 +32,7 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to `file`")
 	fs.BoolVar(&f.Metrics, "metrics", false, "print the metrics snapshot on exit")
 	fs.BoolVar(&f.Verbose, "v", false, "verbose: debug-level, span-aware logging on stderr")
+	fs.BoolVar(&f.Version, "version", false, "print version and build information, then exit")
 	return f
 }
 
@@ -38,6 +40,11 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 // CPU profiler, and debug logging. The returned stop function finalizes
 // everything; it is safe to call exactly once.
 func (f *Flags) Setup() (stop func(), err error) {
+	if f.Version {
+		fmt.Println(ReadBuildInfo().String())
+		os.Exit(0)
+	}
+	RegisterBuildInfo()
 	level := slog.LevelInfo
 	if f.Verbose {
 		level = slog.LevelDebug
@@ -80,6 +87,7 @@ func (f *Flags) Setup() (stop func(), err error) {
 			}
 		}
 		if f.Metrics {
+			UpdateRuntimeMetrics()
 			fmt.Fprint(os.Stderr, Default().Snapshot().Text())
 		}
 	}, nil

@@ -204,7 +204,12 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		if bounds == nil {
 			bounds = LatencyBuckets
 		}
-		h = newHistogram(bounds)
+		// Copy and sort: bucket order is part of the snapshot's determinism
+		// contract, and the registry must not alias (or reorder) the
+		// caller's slice.
+		sorted := append([]float64(nil), bounds...)
+		sort.Float64s(sorted)
+		h = newHistogram(sorted)
 		r.histograms[name] = h
 	}
 	return h
@@ -285,7 +290,12 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// JSON renders the snapshot as indented JSON.
+// Snapshot renderings are deterministic so CI can diff them byte-for-byte:
+// JSON map keys come out sorted (encoding/json sorts map keys), Text and
+// Prometheus sort names explicitly, and histogram buckets are ascending by
+// registration (bounds are sorted when the histogram is created).
+
+// JSON renders the snapshot as indented JSON with sorted keys.
 func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
 
 // Text renders the snapshot as a sorted, human-readable table.

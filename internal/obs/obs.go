@@ -11,6 +11,12 @@ import (
 // Start degrades to a single atomic load.
 var active atomic.Pointer[Tracer]
 
+// detachedEver flips true on the first NewRequestTracer and never resets.
+// While false, no context in the process can carry a live span when the
+// global tracer is off, so the disabled Start path may skip the context
+// walk — keeping the per-layer hot path at two atomic loads.
+var detachedEver atomic.Bool
+
 // StartTracing installs a fresh process-wide tracer and returns it. Spans
 // started before StartTracing (or after StopTracing) are no-ops.
 func StartTracing() *Tracer {
@@ -31,27 +37,51 @@ func TracingEnabled() bool { return active.Load() != nil }
 
 // Tracer collects finished spans. All methods are safe for concurrent use.
 type Tracer struct {
-	now   func() time.Time // injectable clock (tests)
-	epoch time.Time
+	now     func() time.Time // injectable clock (tests)
+	epoch   time.Time
+	traceID string        // 32 lowercase hex chars (W3C trace-id)
+	lastID  atomic.Uint64 // span id allocator; 0 means "no span"
 
 	mu     sync.Mutex
 	events []spanEvent
 	tracks map[uint64]bool // in-use Chrome-trace track (tid) ids
 }
 
-// spanEvent is one finished span, recorded at End.
+// spanEvent is one finished span (or instant event), recorded at End.
 type spanEvent struct {
 	name    string
 	path    string // slash-joined ancestry, e.g. "dse.run/dse.enumerate"
+	id      uint64 // tracer-scoped span id (W3C parent-id material)
+	parent  uint64 // id of the parent span; 0 for roots
 	track   uint64
 	startNS int64 // relative to the tracer epoch
 	durNS   int64
+	instant bool // zero-duration point event (retry fired, breaker opened)
 	attrs   []Attr
 }
 
 func newTracer() *Tracer {
-	return &Tracer{now: time.Now, epoch: time.Now(), tracks: map[uint64]bool{}}
+	return &Tracer{
+		now: time.Now, epoch: time.Now(),
+		traceID: newTraceID(),
+		tracks:  map[uint64]bool{},
+	}
 }
+
+// TraceID returns the tracer's W3C trace id (32 lowercase hex chars).
+// All spans recorded by this tracer share it; a worker's request tracer
+// adopts the coordinator's id so log lines correlate across processes.
+func (t *Tracer) TraceID() string { return t.traceID }
+
+// SetTraceID replaces the tracer's trace id. Intended for request tracers
+// joining an incoming traceparent; call it before starting spans.
+func (t *Tracer) SetTraceID(id string) {
+	if id != "" {
+		t.traceID = id
+	}
+}
+
+func (t *Tracer) nextID() uint64 { return t.lastID.Add(1) }
 
 func (t *Tracer) clock() time.Time { return t.now() }
 
@@ -103,6 +133,7 @@ func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
 type Span struct {
 	t      *Tracer
 	parent *Span
+	id     uint64
 	name   string
 	path   string
 	track  uint64
@@ -121,18 +152,43 @@ func FromContext(ctx context.Context) *Span {
 }
 
 // Start begins a span named name as a child of the span in ctx (a root
-// span if none) and returns a context carrying the new span. With tracing
-// disabled it returns ctx unchanged and a nil span at zero allocations.
+// span if none) and returns a context carrying the new span. A child always
+// records into its parent's tracer — that is what lets a request-scoped
+// tracer (see NewRequestTracer) capture a whole subtree even when the
+// process-wide tracer is off. With tracing fully disabled (no parent span,
+// no active tracer) it returns ctx unchanged and a nil span at zero
+// allocations.
 func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
 	t := active.Load()
+	if t == nil && !detachedEver.Load() {
+		return ctx, nil // tracing off, no request tracer in the process
+	}
+	if parent := FromContext(ctx); parent != nil {
+		return parent.t.start(ctx, parent, name, attrs)
+	}
 	if t == nil {
 		return ctx, nil
 	}
-	s := &Span{t: t, name: name, start: t.clock()}
+	return t.start(ctx, nil, name, attrs)
+}
+
+// StartRoot begins a root span recorded in t regardless of the process-wide
+// tracer, returning a context that routes every nested Start into t. This is
+// the entry point for request-scoped capture: a worker wraps one request's
+// work in StartRoot and exports the resulting subtree with WireSpans.
+func (t *Tracer) StartRoot(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.start(ctx, nil, name, attrs)
+}
+
+func (t *Tracer) start(ctx context.Context, parent *Span, name string, attrs []Attr) (context.Context, *Span) {
+	s := &Span{t: t, id: t.nextID(), name: name, start: t.clock()}
 	if len(attrs) > 0 {
 		s.attrs = attrs
 	}
-	if parent := FromContext(ctx); parent != nil && parent.t == t {
+	if parent != nil {
 		s.parent = parent
 		s.path = parent.path + "/" + name
 		s.track = parent.track
@@ -142,6 +198,28 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 		s.root = true
 	}
 	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// Event records a zero-duration instant event under the span in ctx —
+// a point in time worth seeing on the trace without a duration of its own
+// (a retry fired, a hedge launched, a breaker opened). Without a span in
+// ctx it is a no-op at zero allocations, like a disabled Start.
+func Event(ctx context.Context, name string, attrs ...Attr) {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return
+	}
+	t := sp.t
+	t.record(spanEvent{
+		name:    name,
+		path:    sp.path + "/" + name,
+		id:      t.nextID(),
+		parent:  sp.id,
+		track:   sp.track,
+		startNS: t.clock().Sub(t.epoch).Nanoseconds(),
+		instant: true,
+		attrs:   attrs,
+	})
 }
 
 // Name returns the span name ("" on nil).
@@ -190,9 +268,15 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	end := s.t.clock()
+	var parentID uint64
+	if s.parent != nil {
+		parentID = s.parent.id
+	}
 	s.t.record(spanEvent{
 		name:    s.name,
 		path:    s.path,
+		id:      s.id,
+		parent:  parentID,
 		track:   s.track,
 		startNS: s.start.Sub(s.t.epoch).Nanoseconds(),
 		durNS:   end.Sub(s.start).Nanoseconds(),

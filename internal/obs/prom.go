@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over the snapshot.
+// Zero-dependency like the rest of the package: instruments stay the flat
+// named counters/gauges/histograms of the registry, and labels ride inside
+// the instrument name in canonical `base{k="v",...}` form (built with
+// Name). The renderer splits them back apart, groups label variants into
+// one metric family under a single # HELP/# TYPE pair, and emits histogram
+// families with cumulative _bucket series plus _sum and _count — exactly
+// what a Prometheus scraper expects from /metricz?format=prom.
+//
+// Output is byte-deterministic: families sort by exposition name, series
+// sort by label string, and bucket bounds are ascending by construction.
+
+// Name composes an instrument name with Prometheus-style labels:
+//
+//	Name("serve.route_requests_total", "route", "chip.build")
+//	  => `serve.route_requests_total{route="chip.build"}`
+//
+// Pairs are emitted in the given order; call sites use one fixed order per
+// metric so equal label sets always produce the same instrument. Label
+// values are escaped per the exposition format (backslash, quote, newline).
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(kv[i+1]))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// splitName separates an instrument name into its base and label block
+// (without braces); names built without Name have an empty label block.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// promName sanitizes a base name into a legal exposition metric name under
+// the neurometer_ namespace: every rune outside [a-zA-Z0-9_:] becomes '_'.
+func promName(base string) string {
+	mapped := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, base)
+	return "neurometer_" + mapped
+}
+
+// promValue formats a sample value. The exposition format spells the
+// non-finite values "+Inf", "-Inf", and "NaN".
+func promValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one sample line: name{labels} value.
+type promSeries struct {
+	labels string
+	value  string
+}
+
+// promFamily is one metric family: a HELP/TYPE header plus its series.
+type promFamily struct {
+	name   string // exposition name
+	base   string // original registry base name (for HELP)
+	typ    string // counter | gauge | histogram
+	series []promSeries
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition format.
+// Deterministic: rendering the same snapshot twice is byte-identical.
+func (s Snapshot) Prometheus() []byte {
+	fams := map[string]*promFamily{}
+	family := func(base, typ string) *promFamily {
+		name := promName(base)
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, base: base, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+	addSeries := func(base, typ, labels, value string) {
+		f := family(base, typ)
+		f.series = append(f.series, promSeries{labels: labels, value: value})
+	}
+
+	for name, v := range s.Counters {
+		base, labels := splitName(name)
+		addSeries(base, "counter", labels, strconv.FormatInt(v, 10))
+	}
+	for name, v := range s.Gauges {
+		base, labels := splitName(name)
+		addSeries(base, "gauge", labels, promValue(v))
+	}
+	for name, h := range s.Histograms {
+		base, labels := splitName(name)
+		f := family(base, "histogram")
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			f.series = append(f.series, promSeries{
+				labels: joinLabels(labels, `le="`+promValue(bound)+`"`),
+				value:  strconv.FormatInt(cum, 10),
+			})
+		}
+		if n := len(h.Bounds); n < len(h.Buckets) {
+			cum += h.Buckets[n]
+		}
+		f.series = append(f.series,
+			promSeries{labels: joinLabels(labels, `le="+Inf"`), value: strconv.FormatInt(cum, 10)},
+			promSeries{labels: "\x00sum" + labels, value: promValue(h.Sum)},
+			promSeries{labels: "\x00count" + labels, value: strconv.FormatInt(h.Count, 10)},
+		)
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		fmt.Fprintf(&sb, "# HELP %s NeuroMeter %s %s.\n", f.name, f.typ, f.base)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		if f.typ == "histogram" {
+			writeHistogramFamily(&sb, f)
+			continue
+		}
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		for _, se := range f.series {
+			writeSample(&sb, f.name, "", se)
+		}
+	}
+	return []byte(sb.String())
+}
+
+// writeHistogramFamily emits one histogram's series: buckets (in the
+// ascending order they were appended), then _sum and _count, grouped per
+// label variant sorted by label string.
+func writeHistogramFamily(sb *strings.Builder, f *promFamily) {
+	// Partition by variant: bucket series keep their append order (le
+	// ascending); \x00-prefixed markers route to _sum/_count.
+	type variant struct {
+		buckets    []promSeries
+		sum, count promSeries
+	}
+	variants := map[string]*variant{}
+	var order []string
+	get := func(labels string) *variant {
+		v, ok := variants[labels]
+		if !ok {
+			v = &variant{}
+			variants[labels] = v
+			order = append(order, labels)
+		}
+		return v
+	}
+	for _, se := range f.series {
+		switch {
+		case strings.HasPrefix(se.labels, "\x00sum"):
+			get(strings.TrimPrefix(se.labels, "\x00sum")).sum = se
+		case strings.HasPrefix(se.labels, "\x00count"):
+			get(strings.TrimPrefix(se.labels, "\x00count")).count = se
+		default:
+			base := se.labels[:strings.LastIndex(se.labels, "le=")]
+			base = strings.TrimSuffix(base, ",")
+			get(base).buckets = append(get(base).buckets, se)
+		}
+	}
+	sort.Strings(order)
+	for _, labels := range order {
+		v := variants[labels]
+		for _, se := range v.buckets {
+			writeSample(sb, f.name, "_bucket", se)
+		}
+		writeSample(sb, f.name, "_sum", promSeries{labels: labels, value: v.sum.value})
+		writeSample(sb, f.name, "_count", promSeries{labels: labels, value: v.count.value})
+	}
+}
+
+func writeSample(sb *strings.Builder, name, suffix string, se promSeries) {
+	sb.WriteString(name)
+	sb.WriteString(suffix)
+	if se.labels != "" {
+		sb.WriteByte('{')
+		sb.WriteString(se.labels)
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(se.value)
+	sb.WriteByte('\n')
+}
+
+// joinLabels appends one label to a (possibly empty) comma-joined block.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// Always-on runtime gauges, refreshed by UpdateRuntimeMetrics at snapshot
+// points (the /metricz handler, the CLIs' -metrics exit dump).
+var (
+	gGoroutines  = NewGauge("runtime.goroutines")
+	gHeapAlloc   = NewGauge("runtime.heap_alloc_bytes")
+	gHeapSys     = NewGauge("runtime.heap_sys_bytes")
+	gGCPauseTot  = NewGauge("runtime.gc_pause_seconds_total")
+	gGCRunsTotal = NewGauge("runtime.gc_runs_total")
+)
+
+// UpdateRuntimeMetrics refreshes the runtime gauges (goroutine count, heap
+// bytes, cumulative GC pause) from the Go runtime. Call it just before
+// taking a snapshot that should include fresh process health numbers; the
+// ReadMemStats cost is a scrape-time expense, never a hot-path one.
+func UpdateRuntimeMetrics() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gGoroutines.Set(float64(runtime.NumGoroutine()))
+	gHeapAlloc.Set(float64(ms.HeapAlloc))
+	gHeapSys.Set(float64(ms.HeapSys))
+	gGCPauseTot.Set(float64(ms.PauseTotalNs) / 1e9)
+	gGCRunsTotal.Set(float64(ms.NumGC))
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cross-process tracing. A fleet coordinator tags each worker call with a
+// W3C traceparent-style header; the worker captures its span subtree in a
+// request-scoped tracer (NewRequestTracer + StartRoot), serializes it with
+// WireSpans into the response, and the coordinator grafts the subtree under
+// the dispatching span with Span.Graft. The merged tracer then exports one
+// Chrome trace in which remote work nests under the coordinator spans that
+// caused it. Remote timestamps are relative to the remote subtree's root,
+// so clock skew between machines never shows in the merged timeline — the
+// subtree is simply re-based onto the coordinator-side span that covers the
+// round trip.
+
+// TraceparentHeader is the HTTP header carrying trace context, per the W3C
+// Trace Context spec ("traceparent: 00-<trace-id>-<parent-id>-<flags>").
+const TraceparentHeader = "Traceparent"
+
+// newTraceID returns 16 random bytes as 32 lowercase hex chars.
+func newTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; a fixed fallback
+		// keeps tracing functional rather than failing span creation.
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTraceID returns a fresh 32-hex-char trace id. It doubles as the
+// request-id generator for serve access logs: a request that arrives
+// without correlation headers still gets a unique, trace-shaped id.
+func NewTraceID() string { return newTraceID() }
+
+// NewRequestTracer returns a detached tracer for capturing one request's
+// span subtree. It is never installed process-wide: the caller roots the
+// request's work with StartRoot, and every nested Start joins the subtree
+// through the context's parent span. Export the capture with WireSpans.
+func NewRequestTracer() *Tracer {
+	detachedEver.Store(true)
+	return newTracer()
+}
+
+// Traceparent renders the W3C traceparent value for the span in ctx, or ""
+// when ctx carries no span (tracing disabled — callers skip the header).
+func Traceparent(ctx context.Context) string {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%016x-01", sp.t.traceID, sp.id)
+}
+
+// ParseTraceparent splits a traceparent header value into its trace id and
+// parent span id. It accepts any version byte and ignores the flags, per
+// the spec's forward-compatibility rules; malformed or all-zero ids report
+// ok=false.
+func ParseTraceparent(s string) (traceID string, parentID uint64, ok bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return "", 0, false
+	}
+	if _, err := hex.DecodeString(parts[1]); err != nil || parts[1] == strings.Repeat("0", 32) {
+		return "", 0, false
+	}
+	id, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil || id == 0 {
+		return "", 0, false
+	}
+	return parts[1], id, true
+}
+
+// WireAttr is one serialized span attribute. Values round-trip through
+// JSON, so integer attributes come back as float64 — fine for trace args,
+// which are display-only.
+type WireAttr struct {
+	K string `json:"k"`
+	V any    `json:"v"`
+}
+
+// WireSpan is the serialized form of one recorded span or instant event:
+// the wire format workers use to ship their span subtree back to the
+// coordinator inside an eval response. StartNS is relative to the tracer
+// epoch (for a request tracer, effectively the subtree root's start).
+type WireSpan struct {
+	ID      uint64     `json:"id"`
+	Parent  uint64     `json:"parent,omitempty"` // 0 = subtree root
+	Name    string     `json:"name"`
+	Path    string     `json:"path"`
+	StartNS int64      `json:"start_ns"`
+	DurNS   int64      `json:"dur_ns,omitempty"`
+	Instant bool       `json:"instant,omitempty"`
+	Attrs   []WireAttr `json:"attrs,omitempty"`
+}
+
+// WireSpans exports every recorded span and instant event in start-time
+// order. The result is also the test- and tooling-facing structured view of
+// a trace (paths and parent links, which the Chrome export conveys only by
+// time containment).
+func (t *Tracer) WireSpans() []WireSpan {
+	if t == nil {
+		return nil
+	}
+	evs := t.snapshotEvents()
+	out := make([]WireSpan, 0, len(evs))
+	for _, ev := range evs {
+		ws := WireSpan{
+			ID:      ev.id,
+			Parent:  ev.parent,
+			Name:    ev.name,
+			Path:    ev.path,
+			StartNS: ev.startNS,
+			DurNS:   ev.durNS,
+			Instant: ev.instant,
+		}
+		for _, a := range ev.attrs {
+			ws.Attrs = append(ws.Attrs, WireAttr{K: a.Key, V: a.Value})
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// Graft re-parents a remote span subtree under s: ids are remapped into
+// s's tracer, paths are prefixed with s's ancestry, subtree roots become
+// children of s, and timestamps are re-based so the remote epoch aligns
+// with s's start (remote wall clocks never leak into the merged trace).
+// Call it while s is live — typically right after decoding the response
+// the spans arrived in. Nil-safe: with tracing disabled (nil s) it drops
+// the spans.
+func (s *Span) Graft(spans []WireSpan) {
+	if s == nil || len(spans) == 0 {
+		return
+	}
+	t := s.t
+	base := s.start.Sub(t.epoch).Nanoseconds()
+	idmap := make(map[uint64]uint64, len(spans))
+	for _, ws := range spans {
+		nid := t.nextID()
+		idmap[ws.ID] = nid
+		parent, ok := idmap[ws.Parent]
+		if !ok {
+			parent = s.id
+		}
+		ev := spanEvent{
+			name:    ws.Name,
+			path:    s.path + "/" + ws.Path,
+			id:      nid,
+			parent:  parent,
+			track:   s.track,
+			startNS: base + ws.StartNS,
+			durNS:   ws.DurNS,
+			instant: ws.Instant,
+		}
+		for _, a := range ws.Attrs {
+			ev.attrs = append(ev.attrs, Attr{Key: a.K, Value: a.V})
+		}
+		t.record(ev)
+	}
+}

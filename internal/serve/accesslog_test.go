@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer is a goroutine-safe log sink (handlers run on server goroutines).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestAccessLogLines(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{
+		AccessLog:   slog.New(slog.NewJSONHandler(&buf, nil)),
+		SlowRequest: -1,
+	})
+
+	// A success, with a caller-provided request id that must thread through.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/chip/build", strings.NewReader(`{"preset":"tpuv1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "req-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "req-42" {
+		t.Errorf("X-Request-Id echo = %q, want req-42", got)
+	}
+
+	// A failure, which must log its disposition kind.
+	status, hdr, _ := doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"no-such-chip"}`)
+	if status != 400 {
+		t.Fatalf("bad preset: status %d", status)
+	}
+	if hdr.Get("X-Request-Id") == "" {
+		t.Error("generated X-Request-Id missing on error response")
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	ok := lines[0]
+	for _, want := range []string{`"msg":"request"`, `"request_id":"req-42"`,
+		`"route":"chip.build"`, `"status":200`, `"duration_ms":`} {
+		if !strings.Contains(ok, want) {
+			t.Errorf("success line missing %s: %s", want, ok)
+		}
+	}
+	if strings.Contains(ok, `"kind"`) || strings.Contains(ok, `"slow"`) {
+		t.Errorf("success line has error/slow fields: %s", ok)
+	}
+	bad := lines[1]
+	for _, want := range []string{`"status":400`, `"kind":"invalid-config"`} {
+		if !strings.Contains(bad, want) {
+			t.Errorf("failure line missing %s: %s", want, bad)
+		}
+	}
+}
+
+func TestAccessLogSlowFlag(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{
+		AccessLog:   slog.New(slog.NewJSONHandler(&buf, nil)),
+		SlowRequest: 1, // 1ns: everything is slow
+	})
+	status, _, _ := doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`)
+	if status != 200 {
+		t.Fatalf("build: status %d", status)
+	}
+	if !strings.Contains(buf.String(), `"slow":true`) {
+		t.Fatalf("slow request not flagged: %s", buf.String())
+	}
+}
+
+// TestMetriczPromEndpoint scrapes /metricz?format=prom after real traffic
+// and applies the same exposition-shape check the CI smoke job uses.
+func TestMetriczPromEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if status, _, _ := doJSON(t, "POST", ts.URL+"/v1/chip/build", `{"preset":"tpuv1"}`); status != 200 {
+		t.Fatalf("build: status %d", status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metricz?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want exposition format", ct)
+	}
+	shape := regexp.MustCompile(
+		`^(# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+|# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+)$`)
+	var out strings.Builder
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 4<<20))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		out.WriteString(line + "\n")
+		if !shape.MatchString(line) {
+			t.Errorf("line fails exposition shape: %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	body := out.String()
+	for _, want := range []string{
+		"neurometer_build_info{",
+		`neurometer_serve_route_requests_total{route="chip.build"}`,
+		`neurometer_serve_route_request_seconds_bucket{route="chip.build",le="+Inf"}`,
+		"neurometer_runtime_goroutines ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prom scrape missing %q", want)
+		}
+	}
+}

@@ -28,6 +28,71 @@ var (
 	gInflight   = obs.NewGauge("serve.inflight")
 )
 
+// routeMetrics are the per-route RED instruments (rate, errors, duration),
+// registered once per route when the middleware stack is built. Error
+// counters are labeled by taxonomy kind and registered on first use — the
+// kind set is small and data-dependent.
+type routeMetrics struct {
+	requests *obs.Counter
+	seconds  *obs.Histogram
+}
+
+func newRouteMetrics(route string) routeMetrics {
+	return routeMetrics{
+		requests: obs.NewCounter(obs.Name("serve.route_requests_total", "route", route)),
+		seconds:  obs.NewHistogram(obs.Name("serve.route_request_seconds", "route", route), nil),
+	}
+}
+
+func routeErrors(route, kind string) *obs.Counter {
+	return obs.NewCounter(obs.Name("serve.route_errors_total", "route", route, "kind", kind))
+}
+
+// statusWriter records the response status for metrics and the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// requestID resolves the request's correlation id: an incoming X-Request-Id
+// wins (so a caller's id threads through), then the trace id of an incoming
+// traceparent (fleet calls correlate with the coordinator's trace), then a
+// fresh id. The resolved id is echoed in the X-Request-Id response header
+// and stamped on the access-log line.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		if len(id) > 64 {
+			id = id[:64]
+		}
+		return id
+	}
+	if traceID, _, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		return traceID
+	}
+	return obs.NewTraceID()
+}
+
 // apiError is the wire form of every failure: the message plus the guard
 // taxonomy kind, so clients branch on a stable enum instead of parsing
 // prose.
@@ -65,35 +130,53 @@ func errKind(err error) string {
 type handlerFunc func(r *http.Request) (status int, body any, err error)
 
 // handle wraps a model endpoint with the full robustness stack, outermost
-// first: request metrics, admission control (lim may be nil for cheap
-// endpoints), per-request deadline propagation, panic recovery, error→
-// status mapping, and watchdog accounting.
+// first: request identity + RED metrics + access logging, admission control
+// (lim may be nil for cheap endpoints), per-request deadline propagation,
+// panic recovery, error→status mapping, and watchdog accounting.
 func (s *Server) handle(endpoint string, lim *limiter, h handlerFunc) http.Handler {
+	rm := newRouteMetrics(endpoint)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Inc()
+		rm.requests.Inc()
 		start := time.Now()
 		gInflight.Add(1)
+
+		rid := requestID(r)
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-Id", rid)
+
+		var kind string // error disposition ("" = success), for RED + log
 		defer func() {
 			gInflight.Add(-1)
-			mReqSeconds.Observe(time.Since(start).Seconds())
+			sec := time.Since(start).Seconds()
+			mReqSeconds.Observe(sec)
+			rm.seconds.Observe(sec)
+			if kind != "" {
+				routeErrors(endpoint, kind).Inc()
+			}
+			s.logAccess(r, endpoint, rid, sw.status(), kind, sec)
 		}()
+		fail := func(err error) {
+			kind = errKind(err)
+			s.writeError(sw, r, endpoint, err)
+		}
 
 		if r.Method == http.MethodPost {
 			if err := checkContentType(r); err != nil {
-				s.writeError(w, r, endpoint, err)
+				fail(err)
 				return
 			}
 			// MaxBytesReader (unlike a bare LimitReader) closes the
 			// connection on overflow and surfaces a typed error decodeBody
 			// maps to 413 — a client streaming an oversized body cannot
 			// tie up the decoder.
-			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 		}
 
 		if lim != nil {
 			release, err := lim.acquire(r.Context())
 			if err != nil {
-				s.writeError(w, r, endpoint, err)
+				fail(err)
 				return
 			}
 			defer release()
@@ -101,6 +184,8 @@ func (s *Server) handle(endpoint string, lim *limiter, h handlerFunc) http.Handl
 
 		ctx, cancel := s.requestContext(r)
 		defer cancel()
+		ctx, span := obs.Start(ctx, "serve."+endpoint, obs.String("request_id", rid))
+		defer span.End()
 
 		var status int
 		var body any
@@ -113,15 +198,39 @@ func (s *Server) handle(endpoint string, lim *limiter, h handlerFunc) http.Handl
 			if errors.Is(err, guard.ErrCandidatePanic) {
 				mPanics.Inc()
 			}
-			s.writeError(w, r, endpoint, err)
+			fail(err)
 			return
 		}
 		s.wd.ok()
 		if status == 0 {
 			status = http.StatusOK
 		}
-		writeJSON(w, status, body)
+		writeJSON(sw, status, body)
 	})
+}
+
+// logAccess emits one structured access-log line (when the server has an
+// access logger): request id, route, status, error disposition, latency,
+// and a slow-request flag against the configured threshold.
+func (s *Server) logAccess(r *http.Request, endpoint, rid string, status int, kind string, sec float64) {
+	if s.accessLog == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("request_id", rid),
+		slog.String("route", endpoint),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Float64("duration_ms", sec*1e3),
+	}
+	if kind != "" {
+		attrs = append(attrs, slog.String("kind", kind))
+	}
+	if slow := s.cfg.SlowRequest; slow > 0 && sec >= slow.Seconds() {
+		attrs = append(attrs, slog.Bool("slow", true))
+	}
+	s.accessLog.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 }
 
 // requestContext derives the handler context: the server's default request

@@ -64,6 +64,13 @@ type Config struct {
 	// process the coordinator of a worker fleet. Candidates the dispatcher
 	// cannot resolve are evaluated in-process.
 	Dispatch func(ctx context.Context, sh dse.Shard, report func(dse.ShardOutcome))
+	// AccessLog, when non-nil, receives one structured line per request on
+	// the model endpoints (request id, route, status, disposition, latency,
+	// slow flag). nil disables access logging.
+	AccessLog *slog.Logger
+	// SlowRequest is the latency at or above which an access-log line is
+	// flagged slow=true (0 falls back to the default; negative disables).
+	SlowRequest time.Duration
 }
 
 // DefaultConfig returns the production defaults.
@@ -81,6 +88,7 @@ func DefaultConfig() Config {
 		DegradedAfter:    5,
 		Workers:          dse.DefaultWorkers,
 		MaxBodyBytes:     1 << 20,
+		SlowRequest:      time.Second,
 	}
 }
 
@@ -123,6 +131,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = d.MaxBodyBytes
 	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = d.SlowRequest
+	}
 	return c
 }
 
@@ -138,6 +149,7 @@ type Server struct {
 	limBuild  *limiter
 	limSim    *limiter
 	limWorker *limiter
+	accessLog *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -149,6 +161,7 @@ type Server struct {
 // New builds a server from the config (zero fields take defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	obs.RegisterBuildInfo() // the build_info gauge is visible on /metricz
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -157,6 +170,7 @@ func New(cfg Config) *Server {
 		limBuild:   newLimiter("chip.build", cfg.BuildLimit, cfg.QueueDepth, cfg.AdmissionTimeout, cfg.ShedWatermark),
 		limSim:     newLimiter("perfsim.simulate", cfg.SimulateLimit, cfg.QueueDepth, cfg.AdmissionTimeout, cfg.ShedWatermark),
 		limWorker:  newLimiter("fleet.shard", cfg.WorkerLimit, cfg.QueueDepth, cfg.AdmissionTimeout, 0),
+		accessLog:  cfg.AccessLog,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		draining:   make(chan struct{}),
@@ -257,14 +271,23 @@ func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, status, body)
 }
 
+// metricz serves the registry snapshot: human-readable text by default,
+// ?format=json for the structured form, ?format=prom for the Prometheus
+// text exposition format a scraper consumes. All three renderings are
+// deterministically ordered, so CI can diff consecutive scrapes.
 func (s *Server) metricz(w http.ResponseWriter, r *http.Request) {
+	obs.UpdateRuntimeMetrics()
 	snap := obs.Default().Snapshot()
-	if r.URL.Query().Get("format") == "json" {
+	switch r.URL.Query().Get("format") {
+	case "json":
 		writeJSON(w, http.StatusOK, snap)
-		return
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(snap.Prometheus())
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, snap.Text())
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, snap.Text())
 }
 
 // ---- /v1/chip/build -------------------------------------------------------
@@ -375,19 +398,39 @@ func (s *Server) simulateHandler(r *http.Request) (int, any, error) {
 // retried shard cannot change the study's output. guard.Inject("fleet.shard")
 // is the chaos hook the fleet tests and the CI chaos job use to fault
 // workers without killing processes.
+//
+// Tracing: a request carrying a coordinator traceparent gets its own
+// request-scoped tracer — independent of this process's -trace state — and
+// the captured span subtree (worker.eval plus its per-candidate evals)
+// rides back in the response for the coordinator to graft into the study
+// trace.
 func (s *Server) workerEval(r *http.Request) (int, any, error) {
 	var sh dse.Shard
 	if err := decodeBody(r, &sh); err != nil {
 		return 0, nil, err
 	}
-	if err := guard.Inject(r.Context(), "fleet.shard"); err != nil {
+	ctx := r.Context()
+	var rt *obs.Tracer
+	var root *obs.Span
+	if traceID, _, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		rt = obs.NewRequestTracer()
+		rt.SetTraceID(traceID)
+		ctx, root = rt.StartRoot(ctx, "worker.eval",
+			obs.Int("candidates", int64(len(sh.Cands))))
+	}
+	if err := guard.Inject(ctx, "fleet.shard"); err != nil {
 		return 0, nil, err
 	}
-	outs, err := dse.EvalShard(r.Context(), sh, s.cfg.Workers)
+	outs, err := dse.EvalShard(ctx, sh, s.cfg.Workers)
+	root.End() // nil-safe; must end before export so the subtree is complete
 	if err != nil {
 		return 0, nil, err
 	}
-	return http.StatusOK, dse.ShardResult{Outcomes: outs}, nil
+	res := dse.ShardResult{Outcomes: outs}
+	if rt != nil {
+		res.Spans = rt.WireSpans()
+	}
+	return http.StatusOK, res, nil
 }
 
 // decodeBody reads a bounded JSON request body. Malformed JSON is an

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"neurometer/internal/dse"
+	"neurometer/internal/fleet"
+	"neurometer/internal/guard"
+	"neurometer/internal/obs"
+)
+
+// dispatchTraced runs one traced coordinator dispatch of sh across the
+// given fleet config and returns the coordinator tracer's merged spans.
+func dispatchTraced(t *testing.T, cfg fleet.Config, sh dse.Shard) ([]obs.WireSpan, []dse.ShardOutcome) {
+	t.Helper()
+	tr := obs.StartTracing()
+	defer obs.StopTracing()
+
+	coord, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, study := obs.Start(context.Background(), "study")
+	var mu sync.Mutex
+	var outs []dse.ShardOutcome
+	coord.Dispatch(ctx, sh, func(o dse.ShardOutcome) {
+		mu.Lock()
+		outs = append(outs, o)
+		mu.Unlock()
+	})
+	study.End()
+
+	// The merged tracer must always export a loadable Chrome trace.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("merged trace is not valid JSON")
+	}
+	return tr.WireSpans(), outs
+}
+
+// TestMergedTraceFromTwoWorkers is the golden trace-merge test: a traced
+// coordinator dispatch across two in-process workers produces ONE span tree
+// in which each worker's serialized subtree (worker.eval and its per-
+// candidate dse.candidate spans) is re-parented under the owning fleet.eval
+// span, which nests under fleet.shard under fleet.dispatch.
+func TestMergedTraceFromTwoWorkers(t *testing.T) {
+	_, w1 := newTestServer(t, Config{})
+	_, w2 := newTestServer(t, Config{})
+	sh := tinyShard(t) // 2 candidates; ShardSize 1 → one shard per worker
+
+	spans, outs := dispatchTraced(t, fleet.Config{
+		Workers:    []string{w1.URL, w2.URL},
+		ShardSize:  1,
+		HedgeAfter: -1,
+	}, sh)
+	if len(outs) != 2 {
+		t.Fatalf("dispatch reported %d outcomes, want 2", len(outs))
+	}
+
+	byID := map[uint64]obs.WireSpan{}
+	count := map[string]int{}
+	for _, ws := range spans {
+		byID[ws.ID] = ws
+		count[ws.Name]++
+	}
+	// Both workers' subtrees arrived: one worker.eval per shard, each with
+	// one dse.candidate, under 2 fleet.eval / 2 fleet.shard spans.
+	for name, want := range map[string]int{
+		"fleet.dispatch": 1, "fleet.shard": 2, "fleet.eval": 2,
+		"worker.eval": 2, "dse.candidate": 2,
+	} {
+		if count[name] != want {
+			t.Errorf("span %q appears %d times, want %d (all: %v)", name, count[name], want, count)
+		}
+	}
+	// Parent chain: every dse.candidate → worker.eval → fleet.eval →
+	// fleet.shard → fleet.dispatch → study, and the path mirrors it.
+	wantChain := []string{"worker.eval", "fleet.eval", "fleet.shard", "fleet.dispatch", "study"}
+	for _, ws := range spans {
+		if ws.Name != "dse.candidate" {
+			continue
+		}
+		if want := "study/fleet.dispatch/fleet.shard/fleet.eval/worker.eval/dse.candidate"; ws.Path != want {
+			t.Errorf("dse.candidate path = %q, want %q", ws.Path, want)
+		}
+		cur := ws
+		for _, wantName := range wantChain {
+			parent, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %q has dangling parent %d", cur.Path, cur.Parent)
+			}
+			if parent.Name != wantName {
+				t.Fatalf("span %q parent = %q, want %q", cur.Path, parent.Name, wantName)
+			}
+			cur = parent
+		}
+	}
+	// The two fleet.eval spans targeted distinct workers.
+	workers := map[string]bool{}
+	for _, ws := range spans {
+		if ws.Name != "fleet.eval" {
+			continue
+		}
+		for _, a := range ws.Attrs {
+			if a.K == "worker" {
+				workers[a.V.(string)] = true
+			}
+		}
+	}
+	if len(workers) != 2 {
+		t.Errorf("fleet.eval spans name %d distinct workers, want 2: %v", len(workers), workers)
+	}
+	// Containment: every grafted worker span lies inside its parent's
+	// interval (the re-based timestamps are what Perfetto nests by).
+	for _, ws := range spans {
+		parent, ok := byID[ws.Parent]
+		if !ok {
+			continue
+		}
+		if ws.StartNS < parent.StartNS || ws.StartNS+ws.DurNS > parent.StartNS+parent.DurNS {
+			t.Errorf("span %q [%d,+%d] escapes parent %q [%d,+%d]",
+				ws.Path, ws.StartNS, ws.DurNS, parent.Path, parent.StartNS, parent.DurNS)
+		}
+	}
+}
+
+// TestRetryAndBreakerInstantEvents: a dead worker first in rotation forces
+// a retry, which must appear as an instant event under the fleet.shard
+// span; enough consecutive failures also trip that worker's breaker open,
+// which must appear as a breaker-open instant event.
+func TestRetryAndBreakerInstantEvents(t *testing.T) {
+	_, w2 := newTestServer(t, Config{})
+	sh := tinyShard(t)
+
+	spans, outs := dispatchTraced(t, fleet.Config{
+		// Round-robin starts at index 0: the dead worker takes the first
+		// attempt deterministically.
+		Workers:          []string{"http://127.0.0.1:1", w2.URL},
+		ShardSize:        len(sh.Cands), // one shard → one deterministic retry chain
+		HedgeAfter:       -1,
+		MaxAttempts:      3,
+		BreakerThreshold: 1,
+		Backoff:          guard.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	}, sh)
+	if len(outs) != len(sh.Cands) {
+		t.Fatalf("dispatch reported %d outcomes, want %d", len(outs), len(sh.Cands))
+	}
+
+	var sawRetry, sawBreaker bool
+	for _, ws := range spans {
+		if !ws.Instant {
+			continue
+		}
+		switch ws.Name {
+		case "fleet.retry":
+			sawRetry = true
+			if want := "study/fleet.dispatch/fleet.shard/fleet.retry"; ws.Path != want {
+				t.Errorf("fleet.retry path = %q, want %q", ws.Path, want)
+			}
+		case "fleet.breaker.open":
+			sawBreaker = true
+		}
+	}
+	if !sawRetry {
+		t.Error("no fleet.retry instant event in trace")
+	}
+	if !sawBreaker {
+		t.Error("no fleet.breaker.open instant event in trace")
+	}
+}
+
+// TestHedgeInstantEvent: a primary that hangs past HedgeAfter triggers a
+// hedged attempt on the other worker, recorded as a fleet.hedge instant
+// event, and the hedge's result resolves the shard.
+func TestHedgeInstantEvent(t *testing.T) {
+	_, w2 := newTestServer(t, Config{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		// Far past HedgeAfter: the hedge fires and wins long before this
+		// resolves, whichever order the results then land in.
+		time.Sleep(400 * time.Millisecond)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer slow.Close()
+	sh := tinyShard(t)
+
+	spans, outs := dispatchTraced(t, fleet.Config{
+		Workers:     []string{slow.URL, w2.URL},
+		ShardSize:   len(sh.Cands),
+		HedgeAfter:  30 * time.Millisecond,
+		MaxAttempts: 2,
+	}, sh)
+	if len(outs) != len(sh.Cands) {
+		t.Fatalf("dispatch reported %d outcomes, want %d", len(outs), len(sh.Cands))
+	}
+	found := false
+	for _, ws := range spans {
+		if ws.Instant && ws.Name == "fleet.hedge" {
+			found = true
+			if !strings.HasSuffix(ws.Path, "fleet.shard/fleet.hedge") {
+				t.Errorf("fleet.hedge path = %q", ws.Path)
+			}
+		}
+	}
+	if !found {
+		t.Error("no fleet.hedge instant event in trace")
+	}
+}
+
+// TestWorkerEvalSpansOnlyWithTraceparent: the worker endpoint returns a
+// span subtree exactly when the request carries a traceparent — an untraced
+// caller gets the PR-5 response shape, byte-identical.
+func TestWorkerEvalSpansOnlyWithTraceparent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sh := tinyShard(t)
+	body, err := json.Marshal(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(traceparent string) dse.ShardResult {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/worker/eval", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set(obs.TraceparentHeader, traceparent)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("worker eval: status %d", resp.StatusCode)
+		}
+		var res dse.ShardResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	if res := post(""); len(res.Spans) != 0 {
+		t.Fatalf("untraced request returned %d spans, want 0", len(res.Spans))
+	}
+	traced := post("00-" + strings.Repeat("ab", 16) + "-00000000000000aa-01")
+	if len(traced.Spans) == 0 {
+		t.Fatal("traced request returned no spans")
+	}
+	var root *obs.WireSpan
+	cands := 0
+	for i, ws := range traced.Spans {
+		switch ws.Name {
+		case "worker.eval":
+			root = &traced.Spans[i]
+		case "dse.candidate":
+			cands++
+		}
+	}
+	if root == nil || root.Parent != 0 {
+		t.Fatalf("traced response missing worker.eval subtree root: %+v", traced.Spans)
+	}
+	if cands != len(sh.Cands) {
+		t.Fatalf("traced response has %d dse.candidate spans, want %d", cands, len(sh.Cands))
+	}
+}
