@@ -22,6 +22,11 @@
 //	-resume              continue an interrupted sweep from -checkpoint
 //	-candidate-timeout d per-candidate evaluation deadline (e.g. 30s)
 //	-retries n           retry timed-out candidates up to n times
+//	-result-store dir    persistent content-addressed result cache for the
+//	                -fig 10 sweep: verified read-through (checksum +
+//	                fingerprint + finiteness), corrupt entries quarantined,
+//	                every store fault degrades to evaluation — output is
+//	                byte-identical with or without the store
 //
 // Parallelism and export (see DESIGN.md §9):
 //
@@ -63,6 +68,7 @@ import (
 	"neurometer/internal/fleet"
 	"neurometer/internal/guard"
 	"neurometer/internal/obs"
+	"neurometer/internal/rstore"
 )
 
 // hardenFlags carries the robustness and parallelism flag values into run.
@@ -73,6 +79,7 @@ type hardenFlags struct {
 	retries    int
 	workers    int
 	csv        string
+	store      string
 
 	fleet         string
 	fleetShard    int
@@ -116,6 +123,7 @@ func main() {
 	flag.IntVar(&hf.retries, "retries", 0, "retries for retryable (timed-out) candidate failures")
 	flag.IntVar(&hf.workers, "workers", dse.DefaultWorkers, "candidate-evaluation workers (default GOMAXPROCS; 1 = serial; output is identical at any count)")
 	flag.StringVar(&hf.csv, "csv", "", "also write -fig 10 rows as CSV at <prefix>.<regime>.csv")
+	flag.StringVar(&hf.store, "result-store", "", "persistent per-candidate result store directory for the -fig 10 sweep (verified read-through cache; faults degrade to evaluation)")
 	flag.StringVar(&hf.fleet, "fleet", "", "comma-separated neurometerd worker URLs: distribute the -fig 10 sweep across them")
 	flag.IntVar(&hf.fleetShard, "fleet-shard-size", 0, "candidates per fleet shard (0 = default)")
 	flag.DurationVar(&hf.fleetLease, "fleet-lease", 0, "per-shard lease TTL before requeue (0 = default)")
@@ -229,6 +237,14 @@ func run(ctx context.Context, fig int, full bool, hf hardenFlags) error {
 			return err
 		}
 		h.Dispatch = dispatch
+		if hf.store != "" {
+			st, err := rstore.OpenDisk(hf.store)
+			if err != nil {
+				return err
+			}
+			h.Results = rstore.NewCache(st)
+			defer h.Results.Close()
+		}
 		out, err := dse.Fig10Hardened(ctx, cands, dse.DefaultModels(), h, hf.checkpoint)
 		if err != nil {
 			return err

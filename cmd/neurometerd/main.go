@@ -25,6 +25,13 @@
 // and fall back to in-process evaluation for anything the fleet cannot
 // resolve. Results are byte-identical to a single-process run.
 //
+// Result store: -result-store dir arms the persistent content-addressed
+// result cache (internal/rstore) shared by study jobs and the worker
+// endpoint. Entries are verified on every read (checksum, fingerprint,
+// finiteness); corrupt or torn entries are quarantined under
+// dir/quarantine and recomputed, so a damaged store can slow the daemon
+// down but never change a result or take it down.
+//
 // SIGTERM and SIGINT begin a graceful drain: the listener closes, in-flight
 // requests finish, running study jobs are canceled and flush their
 // checkpoints, and the process exits 0 within -drain-timeout (exit 1 if the
@@ -47,6 +54,7 @@ import (
 
 	"neurometer/internal/fleet"
 	"neurometer/internal/obs"
+	"neurometer/internal/rstore"
 	"neurometer/internal/serve"
 )
 
@@ -65,6 +73,7 @@ func main() {
 	workers := flag.Int("workers", 0, "study evaluation workers (0 = GOMAXPROCS)")
 	workerLimit := flag.Int("worker-limit", def.WorkerLimit, "max concurrent /v1/worker/eval shard evaluations")
 	jobsDir := flag.String("jobs-dir", "", "directory for study-job checkpoints (empty: jobs do not survive restarts)")
+	resultStore := flag.String("result-store", "", "persistent per-candidate result store directory shared by studies and /v1/worker/eval (empty disables; corrupt entries are quarantined and recomputed)")
 	retryJitter := flag.Int("retry-after-jitter", def.RetryAfterJitter, "seconds of uniform jitter added to Retry-After on 429 (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time for the graceful drain on SIGTERM/SIGINT")
 	fleetWorkers := flag.String("fleet", "", "comma-separated worker URLs; coordinator mode: shard study jobs across them")
@@ -100,6 +109,16 @@ func main() {
 		JobsDir:          *jobsDir,
 		RetryAfterJitter: *retryJitter,
 		SlowRequest:      *slowRequest,
+	}
+	if *resultStore != "" {
+		st, err := rstore.OpenDisk(*resultStore)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "neurometerd: -result-store: %v\n", err)
+			stop()
+			os.Exit(1)
+		}
+		cfg.Results = rstore.NewCache(st)
+		defer cfg.Results.Close()
 	}
 	logger, closeLog, err := openAccessLog(*accessLog)
 	if err != nil {

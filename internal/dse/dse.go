@@ -18,6 +18,7 @@ import (
 	"neurometer/internal/obs"
 	"neurometer/internal/perfsim"
 	"neurometer/internal/periph"
+	"neurometer/internal/rstore"
 	"neurometer/internal/workloads"
 )
 
@@ -409,6 +410,16 @@ type Hardening struct {
 	// checkpoint machinery, output stays byte-identical at any fleet size
 	// and any failure schedule.
 	Dispatch func(ctx context.Context, sh Shard, report func(ShardOutcome))
+	// Results, when non-nil, is the persistent content-addressed result
+	// store: pending candidates are looked up (fully verified — envelope
+	// checksum, fingerprint match, finite metrics) before any evaluation
+	// is scheduled, local evaluations run under the store's single-flight
+	// layer and persist their rows, and remote outcomes are written back
+	// best-effort. Store faults of every kind degrade to evaluation, so a
+	// study runs byte-identically with a cold, warm, poisoned, or absent
+	// store. A nil Cache (including rstore.NewCache(nil)) disables all of
+	// this.
+	Results *rstore.Cache
 }
 
 // outcome is one candidate's resolved result, held in an index-addressed
@@ -458,6 +469,38 @@ func RuntimeStudyHardened(ctx context.Context, cands []Candidate, models []*grap
 		pending = append(pending, i)
 	}
 
+	// Store phase: satisfy the remaining candidates from the persistent
+	// result store before any evaluation — local or remote — is scheduled.
+	// A hit is recorded to the checkpoint exactly like an evaluated
+	// outcome, so an interrupted warm run resumes identically to an
+	// interrupted cold one, and the checkpoint file stays byte-identical
+	// either way (it stores the same row values).
+	names := modelNames(models)
+	if h.Results != nil && len(pending) > 0 {
+		hits := 0
+		remaining := pending[:0]
+		for _, i := range pending {
+			cand := cands[i]
+			fp := CandidateFingerprint(cand.Chip.Cfg, names, spec, opt)
+			if row, ok := lookupStoredRow(ctx, h.Results, fp, cand.Point); ok {
+				outs[i] = outcome{row: row, done: true}
+				if h.Checkpoint != nil {
+					h.Checkpoint.Record(cand.Point, row)
+				}
+				hits++
+				continue
+			}
+			remaining = append(remaining, i)
+		}
+		if hits > 0 && h.Checkpoint != nil {
+			if ferr := h.Checkpoint.Flush(); ferr != nil {
+				slog.WarnContext(ctx, "dse: checkpoint flush failed", "err", ferr)
+			}
+		}
+		span.SetInt("store_hits", int64(hits))
+		pending = remaining
+	}
+
 	// Remote phase: offer the pending candidates to the dispatcher. Its
 	// report callback lands outcomes exactly where a local evaluation
 	// would — the outs slice and the checkpoint — so the assembly below
@@ -490,6 +533,11 @@ func RuntimeStudyHardened(ctx context.Context, cands []Candidate, models []*grap
 				outs[o.Index] = outcome{err: err, done: true}
 			} else {
 				outs[o.Index] = outcome{row: *o.Row, done: true}
+				if h.Results != nil {
+					// Warm the store from fleet traffic too (best-effort).
+					storeRemoteOutcome(h.Results,
+						CandidateFingerprint(cand.Chip.Cfg, names, spec, opt), *o.Row)
+				}
 			}
 			mRemote.Inc()
 			if h.Checkpoint != nil {
@@ -524,7 +572,11 @@ func RuntimeStudyHardened(ctx context.Context, cands []Candidate, models []*grap
 		cctx, cspan := obs.Start(ctx, "dse.candidate")
 		cspan.SetStr("point", cand.Point.String())
 		evalStart := time.Now()
-		row, err := evalWithRetry(cctx, cand, models, spec, opt, h)
+		var fp string
+		if h.Results != nil {
+			fp = CandidateFingerprint(cand.Chip.Cfg, names, spec, opt)
+		}
+		row, err := evalStoreAware(cctx, h.Results, fp, cand, models, spec, opt, h)
 		mEvalLatency.Observe(time.Since(evalStart).Seconds())
 		cspan.End()
 		if n := completed.Add(1); n%progressEvery == 0 || n == int64(len(pending)) {

@@ -67,7 +67,7 @@ func TestGaugesDrainAfterShardFaults(t *testing.T) {
 	defer disarm()
 
 	sh := BuildShard(cands, []int{0, 1, 2}, models, spec, opt, Hardening{})
-	outs, err := EvalShard(context.Background(), sh, 2)
+	outs, err := EvalShard(context.Background(), sh, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,391 @@
+package dse
+
+import (
+	"context"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+
+	"neurometer/internal/guard"
+	"neurometer/internal/obs"
+	"neurometer/internal/rstore"
+)
+
+// The result-store byte-identity suite: a study run against a cold, warm,
+// poisoned (bit-flipped / torn / wrong-row), write-failing, read-failing,
+// or absent store must produce byte-identical CSV output to the serial
+// no-store reference. The store may only ever change where a row comes
+// from, never what it contains.
+
+func openCache(t *testing.T, dir string) *rstore.Cache {
+	t.Helper()
+	st, err := rstore.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rstore.NewCache(st)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func storeCounter(name string) int64 {
+	return obs.Default().Snapshot().Counters[name]
+}
+
+// studyCSV runs the fixture study under h and renders its CSV.
+func studyCSV(t *testing.T, h Hardening) string {
+	t.Helper()
+	cands, spec, opt := studyFixture(t)
+	rows, err := RuntimeStudyHardened(context.Background(), cands, alexnet(t), spec, opt, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cands) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(cands))
+	}
+	return RuntimeRowsCSV(rows)
+}
+
+// storeEntryFiles lists the store's entry files.
+func storeEntryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".res" {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func quarantineCount(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ents)
+}
+
+func TestStoreColdWarmByteIdentity(t *testing.T) {
+	ref := studyCSV(t, Hardening{}) // serial, storeless reference
+	dir := t.TempDir()
+
+	// Cold store, parallel workers: every candidate misses and evaluates.
+	if got := studyCSV(t, Hardening{Results: openCache(t, dir), Workers: 4}); got != ref {
+		t.Fatalf("cold-store CSV differs from reference:\n%s\n---\n%s", got, ref)
+	}
+	if n := len(storeEntryFiles(t, dir)); n != 3 {
+		t.Fatalf("store holds %d entries after cold run, want 3", n)
+	}
+
+	// Warm store, fresh process (fresh cache over the same dir): every
+	// candidate is served from disk — and the bytes still match.
+	hitsBefore := storeCounter("rstore.hits")
+	if got := studyCSV(t, Hardening{Results: openCache(t, dir), Workers: 4}); got != ref {
+		t.Fatalf("warm-store CSV differs from reference")
+	}
+	if d := storeCounter("rstore.hits") - hitsBefore; d != 3 {
+		t.Fatalf("warm run hit %d entries, want 3", d)
+	}
+}
+
+func TestStorePoisonedBitFlipByteIdentity(t *testing.T) {
+	ref := studyCSV(t, Hardening{})
+	dir := t.TempDir()
+	studyCSV(t, Hardening{Results: openCache(t, dir)}) // warm it
+
+	// Flip one byte in every stored entry. Reads must detect, quarantine,
+	// and silently re-evaluate.
+	for _, f := range storeEntryFiles(t, dir) {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/3] ^= 0x20
+		if err := os.WriteFile(f, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qBefore := storeCounter("rstore.corrupt_quarantined")
+	if got := studyCSV(t, Hardening{Results: openCache(t, dir), Workers: 2}); got != ref {
+		t.Fatalf("poisoned-store CSV differs from reference")
+	}
+	if d := storeCounter("rstore.corrupt_quarantined") - qBefore; d != 3 {
+		t.Fatalf("corrupt_quarantined delta = %d, want 3", d)
+	}
+	if q := quarantineCount(t, dir); q != 3 {
+		t.Fatalf("quarantine holds %d entries, want 3", q)
+	}
+}
+
+func TestStoreTornWriteByteIdentity(t *testing.T) {
+	ref := studyCSV(t, Hardening{})
+	dir := t.TempDir()
+	studyCSV(t, Hardening{Results: openCache(t, dir)})
+
+	// Tear one entry mid-payload and plant the *.tmp a SIGKILL between
+	// write and rename would leave. OpenDisk's recovery scan must remove
+	// the orphan and quarantine the torn entry without failing.
+	files := storeEntryFiles(t, dir)
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[1]+".tmp", raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := rstore.OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("recovery scan over torn store failed: %v", err)
+	}
+	if r := st.Report(); r.Entries != 2 || r.Quarantined != 1 || r.TmpRemoved != 1 {
+		t.Fatalf("scan report = %+v, want entries=2 quarantined=1 tmp_removed=1", r)
+	}
+	cache := rstore.NewCache(st)
+	defer cache.Close()
+	if got := studyCSV(t, Hardening{Results: cache}); got != ref {
+		t.Fatalf("post-recovery CSV differs from reference")
+	}
+}
+
+func TestStoreENOSPCByteIdentity(t *testing.T) {
+	defer guard.DisarmAll()
+	ref := studyCSV(t, Hardening{})
+	dir := t.TempDir()
+
+	// Every write fails with ENOSPC: the study must neither fail nor slow
+	// down beyond the evaluations themselves, and nothing is persisted.
+	disarm := guard.Arm("rstore.write", guard.Fault{Err: syscall.ENOSPC})
+	wfBefore := storeCounter("rstore.write_failures")
+	if got := studyCSV(t, Hardening{Results: openCache(t, dir), Workers: 2}); got != ref {
+		t.Fatalf("ENOSPC-store CSV differs from reference")
+	}
+	if d := storeCounter("rstore.write_failures") - wfBefore; d != 3 {
+		t.Fatalf("write_failures delta = %d, want 3", d)
+	}
+	if n := len(storeEntryFiles(t, dir)); n != 0 {
+		t.Fatalf("store holds %d entries despite ENOSPC, want 0", n)
+	}
+	disarm()
+
+	// Disk recovered: the next run persists and still matches.
+	if got := studyCSV(t, Hardening{Results: openCache(t, dir)}); got != ref {
+		t.Fatalf("post-ENOSPC CSV differs from reference")
+	}
+	if n := len(storeEntryFiles(t, dir)); n != 3 {
+		t.Fatalf("store holds %d entries after recovery, want 3", n)
+	}
+}
+
+func TestStoreReadFaultByteIdentity(t *testing.T) {
+	defer guard.DisarmAll()
+	ref := studyCSV(t, Hardening{})
+	dir := t.TempDir()
+	studyCSV(t, Hardening{Results: openCache(t, dir)}) // warm
+
+	// Every read fails (bad mount): all lookups degrade to evaluation.
+	defer guard.Arm("rstore.read", guard.Fault{Err: guard.Unavailable("injected io error")})()
+	degBefore := storeCounter("rstore.degraded")
+	if got := studyCSV(t, Hardening{Results: openCache(t, dir), Workers: 2}); got != ref {
+		t.Fatalf("read-fault CSV differs from reference")
+	}
+	if d := storeCounter("rstore.degraded") - degBefore; d < 3 {
+		t.Fatalf("degraded delta = %d, want >= 3", d)
+	}
+}
+
+func TestStoreWrongRowQuarantined(t *testing.T) {
+	ref := studyCSV(t, Hardening{})
+	cands, spec, opt := studyFixture(t)
+	names := modelNames(alexnet(t))
+	dir := t.TempDir()
+
+	// Plant a checksum-valid entry whose payload describes a different
+	// design point under candidate 0's fingerprint — the identity check
+	// (not the checksum) must catch it.
+	st, err := rstore.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := json.Marshal(RuntimeRow{Point: cands[1].Point, PeakTOPS: 1, AchievedTOPS: 1, Utilization: 1, PowerW: 1, TOPSPerWatt: 1, TOPSPerTCO: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp0 := CandidateFingerprint(cands[0].Chip.Cfg, names, spec, opt)
+	if err := st.Put(fp0, wrong); err != nil {
+		t.Fatal(err)
+	}
+	// And an entry whose payload is not JSON at all under candidate 1's.
+	fp1 := CandidateFingerprint(cands[1].Chip.Cfg, names, spec, opt)
+	if err := st.Put(fp1, []byte("not json {")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	qBefore := storeCounter("rstore.corrupt_quarantined")
+	if got := studyCSV(t, Hardening{Results: openCache(t, dir)}); got != ref {
+		t.Fatalf("wrong-row store CSV differs from reference")
+	}
+	if d := storeCounter("rstore.corrupt_quarantined") - qBefore; d != 2 {
+		t.Fatalf("corrupt_quarantined delta = %d, want 2", d)
+	}
+	if q := quarantineCount(t, dir); q != 2 {
+		t.Fatalf("quarantine holds %d entries, want 2", q)
+	}
+}
+
+func TestStoreConcurrentStudiesByteIdentity(t *testing.T) {
+	ref := studyCSV(t, Hardening{})
+	cache := openCache(t, t.TempDir())
+
+	// Two studies over the same candidates race on a shared cache: the
+	// single-flight layer dedupes whatever overlaps in time, and both
+	// outputs match the reference exactly.
+	var wg sync.WaitGroup
+	out := make([]string, 2)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cands, spec, opt := studyFixture(t)
+			rows, err := RuntimeStudyHardened(context.Background(), cands, alexnet(t), spec, opt,
+				Hardening{Results: cache, Workers: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = RuntimeRowsCSV(rows)
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range out {
+		if got != ref {
+			t.Fatalf("concurrent study %d CSV differs from reference", i)
+		}
+	}
+}
+
+func TestStoreWarmsFromRemoteOutcomes(t *testing.T) {
+	ref := studyCSV(t, Hardening{})
+	dir := t.TempDir()
+
+	// A dispatcher that resolves every candidate "remotely" (worker-side
+	// EvalShard with no store). The coordinator's store must warm from the
+	// reported outcomes, so the next run hits without evaluating.
+	dispatch := func(ctx context.Context, sh Shard, report func(ShardOutcome)) {
+		outs, err := EvalShard(ctx, sh, 1, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, o := range outs {
+			report(o)
+		}
+	}
+	got := studyCSV(t, Hardening{Results: openCache(t, dir), Dispatch: dispatch})
+	if got != ref {
+		t.Fatalf("remote-dispatch CSV differs from reference")
+	}
+	if n := len(storeEntryFiles(t, dir)); n != 3 {
+		t.Fatalf("store holds %d entries after remote run, want 3", n)
+	}
+	hitsBefore := storeCounter("rstore.hits")
+	if got := studyCSV(t, Hardening{Results: openCache(t, dir)}); got != ref {
+		t.Fatalf("post-remote warm CSV differs from reference")
+	}
+	if d := storeCounter("rstore.hits") - hitsBefore; d != 3 {
+		t.Fatalf("warm run after remote dispatch hit %d, want 3", d)
+	}
+}
+
+func TestEvalShardConsultsStore(t *testing.T) {
+	cands, spec, opt := studyFixture(t)
+	models := alexnet(t)
+	sh := BuildShard(cands, []int{0, 1, 2}, models, spec, opt, Hardening{})
+
+	want, err := EvalShard(context.Background(), sh, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First store-backed evaluation populates; the second is served from
+	// disk (hits counter advances by the shard size) with equal outcomes.
+	dir := t.TempDir()
+	first, err := EvalShard(context.Background(), sh, 2, openCache(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := storeCounter("rstore.hits")
+	second, err := EvalShard(context.Background(), sh, 2, openCache(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := storeCounter("rstore.hits") - hitsBefore; d != 3 {
+		t.Fatalf("second shard eval hit %d entries, want 3", d)
+	}
+	for i := range want {
+		a, _ := json.Marshal(want[i])
+		b, _ := json.Marshal(first[i])
+		c, _ := json.Marshal(second[i])
+		if string(a) != string(b) || string(a) != string(c) {
+			t.Fatalf("outcome %d differs across store modes:\n%s\n%s\n%s", i, a, b, c)
+		}
+	}
+}
+
+func TestStoreHitsRecordIntoCheckpoint(t *testing.T) {
+	ref := studyCSV(t, Hardening{})
+	cands, spec, opt := studyFixture(t)
+	models := alexnet(t)
+	dir := t.TempDir()
+	studyCSV(t, Hardening{Results: openCache(t, dir)}) // warm the store
+
+	// A warm run with a checkpoint must record its store hits, so a
+	// subsequent resume replays them without touching store or simulator.
+	ckptPath := filepath.Join(t.TempDir(), "study.json")
+	fp := StudyFingerprint(cands, models, spec, opt)
+	ck, err := OpenCheckpoint(ckptPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt,
+		Hardening{Results: openCache(t, dir), Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RuntimeRowsCSV(rows) != ref {
+		t.Fatalf("warm checkpointed CSV differs from reference")
+	}
+	ck2, err := OpenCheckpoint(ckptPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedBefore := storeCounter("dse.candidates_resumed")
+	rows2, err := RuntimeStudyHardened(context.Background(), cands, models, spec, opt,
+		Hardening{Checkpoint: ck2}) // no store this time
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RuntimeRowsCSV(rows2) != ref {
+		t.Fatalf("checkpoint-resumed CSV differs from reference")
+	}
+	if d := storeCounter("dse.candidates_resumed") - resumedBefore; d != 3 {
+		t.Fatalf("resume replayed %d candidates, want 3", d)
+	}
+}

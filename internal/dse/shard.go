@@ -10,6 +10,7 @@ import (
 	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 	"neurometer/internal/perfsim"
+	"neurometer/internal/rstore"
 	"neurometer/internal/workloads"
 )
 
@@ -97,7 +98,14 @@ func BuildShard(cands []Candidate, indices []int, models []*graph.Graph, spec Ba
 // or when ctx dies mid-shard, in which case the coordinator retries the
 // whole shard elsewhere (re-evaluation is free of side effects and
 // deterministic).
-func EvalShard(ctx context.Context, sh Shard, workers int) ([]ShardOutcome, error) {
+//
+// cache, when non-nil, is the worker's local result store: each candidate
+// is looked up by the same fingerprint the coordinator derives (the shard
+// fields round-trip exactly through JSON, so both sides address the same
+// entry), and fresh evaluations are persisted through the store's
+// single-flight layer. A nil cache — or any store fault — just means every
+// candidate evaluates.
+func EvalShard(ctx context.Context, sh Shard, workers int, cache *rstore.Cache) ([]ShardOutcome, error) {
 	if len(sh.Cands) == 0 {
 		return nil, guard.Invalid("dse: shard: no candidates")
 	}
@@ -120,7 +128,7 @@ func EvalShard(ctx context.Context, sh Shard, workers int) ([]ShardOutcome, erro
 	runPool(ctx, len(sh.Cands), workers, func(i int) {
 		sc := sh.Cands[i]
 		cctx, sp := obs.Start(ctx, "dse.candidate", obs.Int("index", int64(sc.Index)))
-		outs[i] = evalShardCandidate(cctx, sc, models, sh.Spec, sh.Opt, h)
+		outs[i] = evalShardCandidate(cctx, sc, sh, models, h, cache)
 		sp.End()
 	})
 	if err := guard.CtxErr(ctx); err != nil {
@@ -129,14 +137,24 @@ func EvalShard(ctx context.Context, sh Shard, workers int) ([]ShardOutcome, erro
 	return outs, nil
 }
 
-// evalShardCandidate rebuilds and evaluates one shard candidate.
-func evalShardCandidate(ctx context.Context, sc ShardCandidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options, h Hardening) ShardOutcome {
+// evalShardCandidate resolves one shard candidate: a verified store hit
+// skips even the chip rebuild; otherwise the chip is rebuilt and the
+// candidate evaluated through the store's single-flight layer.
+func evalShardCandidate(ctx context.Context, sc ShardCandidate, sh Shard, models []*graph.Graph, h Hardening, cache *rstore.Cache) ShardOutcome {
 	out := ShardOutcome{Index: sc.Index}
+	var fp string
+	if cache != nil {
+		fp = CandidateFingerprint(sc.Config, sh.Models, sh.Spec, sh.Opt)
+		if row, ok := lookupStoredRow(ctx, cache, fp, sc.Point); ok {
+			out.Row = &row
+			return out
+		}
+	}
 	c, err := chip.BuildCached(sc.Config)
 	if err == nil {
 		cand := Candidate{Point: sc.Point, Chip: c, PeakTOPS: c.PeakTOPS()}
 		var row RuntimeRow
-		row, err = evalWithRetry(ctx, cand, models, spec, opt, h)
+		row, err = evalStoreAware(ctx, cache, fp, cand, models, sh.Spec, sh.Opt, h)
 		if err == nil {
 			out.Row = &row
 			return out

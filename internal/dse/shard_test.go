@@ -29,7 +29,7 @@ func wireDispatch(t *testing.T, keep func(i int) bool, reports *[]ShardOutcome) 
 			t.Errorf("unmarshal shard: %v", err)
 			return
 		}
-		outs, err := EvalShard(ctx, remote, 1)
+		outs, err := EvalShard(ctx, remote, 1, nil)
 		if err != nil {
 			t.Errorf("EvalShard: %v", err)
 			return
@@ -143,7 +143,7 @@ func TestShardDispatchIgnoresDuplicatesAndBogusIndices(t *testing.T) {
 	}
 
 	dispatch := func(ctx context.Context, sh Shard, report func(ShardOutcome)) {
-		outs, err := EvalShard(ctx, sh, 1)
+		outs, err := EvalShard(ctx, sh, 1, nil)
 		if err != nil {
 			t.Errorf("EvalShard: %v", err)
 			return
@@ -233,7 +233,7 @@ func TestEvalShardRejectsMalformedShards(t *testing.T) {
 		"unknown workload": {Spec: spec, Opt: opt, Models: []string{"not-a-net"}, Cands: good.Cands},
 	}
 	for name, sh := range cases {
-		if _, err := EvalShard(context.Background(), sh, 1); !errorsIsInvalid(err) {
+		if _, err := EvalShard(context.Background(), sh, 1, nil); !errorsIsInvalid(err) {
 			t.Errorf("%s: EvalShard = %v, want ErrInvalidConfig", name, err)
 		}
 	}

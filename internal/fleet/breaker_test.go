@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -136,5 +138,61 @@ func TestMetricName(t *testing.T) {
 		if got := metricName(in); got != want {
 			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestBreakerHalfOpenSingleProbeConcurrent: when the cooldown elapses and
+// many shard completions race to dispatch against the same recovering
+// worker, exactly one caller wins the half-open probe slot — the rest are
+// turned away until the probe reports an outcome. Run under -race this
+// also proves allow's state transition is properly synchronized.
+func TestBreakerHalfOpenSingleProbeConcurrent(t *testing.T) {
+	b := newBreaker(obs.NewGauge("fleet.breaker_state.test-concurrent-probe"))
+	now := time.Unix(4000, 0)
+	const cooldown = time.Second
+
+	b.failure(1, cooldown, now)
+	if b.current() != stOpen {
+		t.Fatalf("state %d, want open", b.current())
+	}
+
+	// N goroutines — one per "shard just completed, find me a worker" —
+	// all observe the cooldown as elapsed and call allow at once.
+	const n = 32
+	probeTime := now.Add(2 * cooldown)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var admitted atomic.Int32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.allow(probeTime) {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open breaker admitted %d concurrent probes, want exactly 1", got)
+	}
+	if b.current() != stHalfOpen {
+		t.Fatalf("state %d, want half-open", b.current())
+	}
+
+	// The winner's outcome releases the slot: a success closes the breaker
+	// and the stampede is re-admitted in full.
+	b.success()
+	admitted.Store(0)
+	for i := 0; i < n; i++ {
+		if b.allow(probeTime) {
+			admitted.Add(1)
+		}
+	}
+	if got := admitted.Load(); got != n {
+		t.Fatalf("closed breaker admitted %d of %d, want all", got, n)
 	}
 }

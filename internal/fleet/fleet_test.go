@@ -52,7 +52,7 @@ func workerHandler() http.HandlerFunc {
 			writeWorkerErr(w, guard.HTTPStatus(err), guard.Kind(err), err.Error())
 			return
 		}
-		outs, err := dse.EvalShard(r.Context(), sh, 1)
+		outs, err := dse.EvalShard(r.Context(), sh, 1, nil)
 		if err != nil {
 			writeWorkerErr(w, guard.HTTPStatus(err), guard.Kind(err), err.Error())
 			return

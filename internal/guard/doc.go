@@ -7,9 +7,9 @@
 // The taxonomy is deliberately small. Every error a model entry point
 // returns wraps exactly one of the sentinel errors (ErrInvalidConfig,
 // ErrInfeasible, ErrNonFinite, ErrTimeout, ErrCanceled,
-// ErrCandidatePanic), so callers classify failures with errors.Is,
-// Retryable picks out the transient kinds (timeouts only), and the CLIs
-// render structured one-line diagnostics with Kind.
+// ErrCandidatePanic, ErrUnavailable, ErrCorrupt), so callers classify
+// failures with errors.Is, Retryable picks out the transient kinds, and
+// the CLIs render structured one-line diagnostics with Kind.
 //
 // # Concurrency contract
 //
@@ -28,4 +28,37 @@
 // ErrCanceled after cancellation, ErrTimeout after a deadline. It is the
 // single idiom the sweeps use to decide between "keep going", "stop and
 // checkpoint", and "retry".
+//
+// # Fault-site registry
+//
+// Arm targets a named site; Inject (or CorruptFloat) fires the armed
+// fault when execution reaches it. The complete set of production sites,
+// in evaluation order:
+//
+//	chip.build             chip.Build, before any modeling — a failing
+//	                       site makes the whole candidate fail fast.
+//	perfsim.simulate       perfsim.Simulate entry, before the layer walk.
+//	perfsim.layer          once per layer inside the walk; with
+//	                       Fault.Skip/Count this pinpoints one layer of
+//	                       one candidate.
+//	perfsim.achieved_tops  a CorruptFloat site on the final AchievedTOPS
+//	                       value: Fault.NaN proves the non-finite guards
+//	                       catch a corrupted metric before it reaches a
+//	                       frontier or a CSV row.
+//	dse.candidate          once per candidate in the study pool, after
+//	                       checkpoint replay — the retry/checkpoint test
+//	                       hook.
+//	fleet.shard            once per shard dispatch on the coordinator;
+//	                       drives retry, hedging, and breaker paths.
+//	rstore.read            result-store Get, before the disk read.
+//	rstore.write           result-store Put, before the tmp-file write —
+//	                       the ENOSPC/full-disk hook.
+//	rstore.scan            once per entry visited by the startup
+//	                       recovery scan; drives the unreadable-entry
+//	                       quarantine path.
+//
+// Sites are plain strings, so a typo arms a site that never fires;
+// tests should assert on observable effects (counters, errors), not on
+// arming having "taken". When adding a site, register it here and keep
+// the name as "package.operation".
 package guard

@@ -57,6 +57,15 @@ var (
 	// it will succeed — so it is retryable under the bounded-backoff
 	// policy.
 	ErrUnavailable = errors.New("unavailable")
+
+	// ErrCorrupt marks persisted state that failed integrity verification:
+	// a result-store entry with a bad checksum, a torn write, a foreign
+	// format version, or a payload that deserializes to something other
+	// than what its fingerprint promises. Never retryable — rereading the
+	// same bytes cannot fix them — and never fatal: every consumer of
+	// persisted state treats ErrCorrupt as "this copy does not exist"
+	// (quarantine it, recompute the result).
+	ErrCorrupt = errors.New("corrupt data")
 )
 
 // Invalid returns an ErrInvalidConfig-wrapping error with a formatted
@@ -106,6 +115,11 @@ func Unavailable(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrUnavailable, fmt.Sprintf(format, args...))
 }
 
+// Corrupt returns an ErrCorrupt-wrapping error with a formatted message.
+func Corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
 // Retryable reports whether a failure is worth re-attempting under the
 // sweeps' bounded-retry policy: timeouts and transient unavailability
 // qualify — config, feasibility, non-finite and panic failures are
@@ -116,8 +130,8 @@ func Retryable(err error) bool {
 
 // Kind names the taxonomy class of err for structured one-line CLI
 // diagnostics ("invalid-config", "infeasible", "non-finite", "timeout",
-// "canceled", "panic", "unavailable") or "error" for errors outside the
-// taxonomy.
+// "canceled", "panic", "unavailable", "corrupt") or "error" for errors
+// outside the taxonomy.
 func Kind(err error) string {
 	switch {
 	case errors.Is(err, ErrInvalidConfig):
@@ -134,6 +148,8 @@ func Kind(err error) string {
 		return "panic"
 	case errors.Is(err, ErrUnavailable):
 		return "unavailable"
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt"
 	}
 	return "error"
 }
@@ -156,6 +172,8 @@ func baseForKind(kind string) error {
 		return ErrCandidatePanic
 	case "unavailable":
 		return ErrUnavailable
+	case "corrupt":
+		return ErrCorrupt
 	}
 	return nil
 }

@@ -28,6 +28,9 @@ const StatusClientClosedRequest = 499
 //	ErrUnavailable    503 Service Unavailable  (transient; retry with backoff)
 //	ErrNonFinite      500 Internal Server Error (model produced NaN/Inf)
 //	ErrCandidatePanic 500 Internal Server Error (recovered model panic)
+//	ErrCorrupt        500 Internal Server Error (persisted state failed
+//	                                             integrity verification —
+//	                                             callers degrade, never 4xx)
 //	anything else     500 Internal Server Error
 //
 // The order mirrors Kind: an error wrapping several taxonomy members maps

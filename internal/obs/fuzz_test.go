@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent throws arbitrary header values at the traceparent
+// parser: no input may panic, and every accepted input must satisfy the
+// parser's own contract — a 32-hex non-zero trace id and a non-zero parent
+// span id that Traceparent-style rendering would round-trip.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-0123456789abcdef0123456789abcdef-00000000000000ab-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-0123456789abcdef0123456789abcdef-ffffffffffffffff-01-extra")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("00-short-id-01")
+	f.Add(" 00-0123456789abcdef0123456789abcdef-00000000000000ab-01 ")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		traceID, parentID, ok := ParseTraceparent(s) // must never panic
+		if !ok {
+			if traceID != "" || parentID != 0 {
+				t.Fatalf("rejected input leaked values: %q, %d", traceID, parentID)
+			}
+			return
+		}
+		if len(traceID) != 32 {
+			t.Fatalf("accepted trace id has length %d: %q", len(traceID), traceID)
+		}
+		if traceID == strings.Repeat("0", 32) {
+			t.Fatal("accepted the all-zero trace id")
+		}
+		for _, c := range traceID {
+			if !strings.ContainsRune("0123456789abcdefABCDEF", c) {
+				t.Fatalf("accepted non-hex trace id %q", traceID)
+			}
+		}
+		if parentID == 0 {
+			t.Fatal("accepted the zero parent id")
+		}
+	})
+}

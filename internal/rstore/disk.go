@@ -1,0 +1,291 @@
+package rstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"neurometer/internal/guard"
+)
+
+// DiskStore is the disk backend: one file per result under a two-level
+// content-addressed layout,
+//
+//	<dir>/objects/<aa>/<sha256(fingerprint)>.res
+//	<dir>/quarantine/                      (corrupt entries, moved aside)
+//
+// Writes are crash-safe (tmp file + fsync + rename + parent-dir fsync): a
+// SIGKILL at any instant leaves either the previous entry or a *.tmp file
+// the next startup scan removes — never a half-written entry served as a
+// result. Reads verify the envelope (checksum, version, embedded
+// fingerprint) before returning a byte of payload; anything that fails
+// moves to quarantine/ instead of being deleted, so an operator can
+// inspect what corrupted and the store can never serve the same bad bytes
+// twice. All methods are safe for concurrent use — distinct fingerprints
+// touch distinct files, and same-fingerprint writers race only on the
+// atomic rename, whose last writer wins with a complete entry either way.
+type DiskStore struct {
+	dir    string
+	odir   string // <dir>/objects
+	qdir   string // <dir>/quarantine
+	report ScanReport
+}
+
+// ScanReport summarizes the startup recovery scan.
+type ScanReport struct {
+	// Entries is the number of verified entries the scan kept.
+	Entries int
+	// Quarantined counts entries moved to quarantine/ (torn, corrupt,
+	// foreign version, or filed under the wrong name).
+	Quarantined int
+	// TmpRemoved counts orphaned *.tmp files deleted (a crash between
+	// write and rename leaves exactly one).
+	TmpRemoved int
+}
+
+const (
+	entryExt  = ".res"
+	tmpSuffix = ".tmp"
+)
+
+// OpenDisk opens (creating if necessary) the store rooted at dir and runs
+// the recovery scan: orphaned *.tmp files are removed and every entry is
+// verified, with failures quarantined rather than trusted or deleted. A
+// store directory full of garbage therefore opens successfully and behaves
+// as empty — the durability contract is that a damaged store degrades to
+// recomputation, never to wrong results and never to a crash.
+func OpenDisk(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, guard.Invalid("rstore: empty store directory")
+	}
+	s := &DiskStore{
+		dir:  dir,
+		odir: filepath.Join(dir, "objects"),
+		qdir: filepath.Join(dir, "quarantine"),
+	}
+	for _, d := range []string{s.dir, s.odir, s.qdir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("rstore: %w", err)
+		}
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	slog.Info("rstore: opened disk store", "dir", dir,
+		"entries", s.report.Entries, "quarantined", s.report.Quarantined,
+		"tmp_removed", s.report.TmpRemoved)
+	return s, nil
+}
+
+// Report returns the startup scan summary.
+func (s *DiskStore) Report() ScanReport { return s.report }
+
+// Dir returns the store root.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// path maps a fingerprint to its entry file.
+func (s *DiskStore) path(fp string) string {
+	sum := sha256.Sum256([]byte(fp))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.odir, name[:2], name+entryExt)
+}
+
+// scan walks the object tree once at open: *.tmp droppings are removed,
+// every *.res entry is decoded and verified, and failures are quarantined.
+// Files the store did not write (unknown extensions) are left untouched.
+// guard.Inject("rstore.scan") fires per entry visit so tests can drive the
+// unreadable-entry path deterministically.
+func (s *DiskStore) scan() error {
+	err := filepath.WalkDir(s.odir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasSuffix(path, tmpSuffix) {
+			if rerr := os.Remove(path); rerr == nil {
+				s.report.TmpRemoved++
+				mTmpRemoved.Inc()
+			}
+			return nil
+		}
+		if filepath.Ext(path) != entryExt {
+			return nil // not ours; leave it alone
+		}
+		verr := guard.Inject(nil, "rstore.scan")
+		var b []byte
+		if verr == nil {
+			b, verr = os.ReadFile(path)
+		}
+		if verr == nil {
+			var fp string
+			fp, _, verr = DecodeEntry(b)
+			if verr == nil && s.path(fp) != path {
+				verr = guard.Corrupt("rstore: entry %s embeds fingerprint for %s",
+					filepath.Base(path), filepath.Base(s.path(fp)))
+			}
+		}
+		if verr != nil {
+			s.quarantineFile(path, verr)
+			s.report.Quarantined++
+			mQuarantined.Inc()
+			return nil
+		}
+		s.report.Entries++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("rstore: scan: %w", err)
+	}
+	return nil
+}
+
+// Get returns the verified payload for fp. A missing entry is ErrNotFound;
+// a present-but-invalid entry is quarantined and reported as
+// guard.ErrCorrupt; read failures classify as guard.ErrUnavailable. Every
+// non-nil error means "compute the result yourself".
+func (s *DiskStore) Get(fp string) ([]byte, error) {
+	if err := guard.Inject(nil, "rstore.read"); err != nil {
+		return nil, fmt.Errorf("rstore: read %s: %w", shortFP(fp), err)
+	}
+	path := s.path(fp)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, guard.Unavailable("rstore: read %s: %v", shortFP(fp), err)
+	}
+	stored, payload, err := DecodeEntry(b)
+	if err == nil && stored != fp {
+		err = guard.Corrupt("rstore: entry for %s holds a result for a different fingerprint", shortFP(fp))
+	}
+	if err != nil {
+		s.quarantineFile(path, err)
+		mQuarantined.Inc()
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Put durably stores payload under fp: encode, write to a tmp file, fsync
+// the file, rename over the final name, fsync the directory. A failure at
+// any step removes the tmp file and returns an error the caller treats as
+// "result not persisted" — never as a failed evaluation.
+// guard.Inject("rstore.write") is the ENOSPC/IO-fault hook.
+func (s *DiskStore) Put(fp string, payload []byte) error {
+	if err := guard.Inject(nil, "rstore.write"); err != nil {
+		return fmt.Errorf("rstore: write %s: %w", shortFP(fp), err)
+	}
+	b, err := EncodeEntry(fp, payload)
+	if err != nil {
+		return err
+	}
+	path := s.path(fp)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return guard.Unavailable("rstore: write %s: %v", shortFP(fp), err)
+	}
+	tmp := path + tmpSuffix
+	if err := writeFileSync(tmp, b); err != nil {
+		os.Remove(tmp)
+		return guard.Unavailable("rstore: write %s: %v", shortFP(fp), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return guard.Unavailable("rstore: write %s: %v", shortFP(fp), err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return guard.Unavailable("rstore: write %s: %v", shortFP(fp), err)
+	}
+	return nil
+}
+
+// Quarantine moves the entry for fp (if any) into quarantine/. Callers use
+// it when a checksum-valid entry fails a higher layer's verification —
+// undeserializable payload, non-finite metrics, identity mismatch — so the
+// bad bytes are preserved for inspection but never served again.
+func (s *DiskStore) Quarantine(fp string, reason error) {
+	path := s.path(fp)
+	if _, err := os.Stat(path); err != nil {
+		return // already gone (raced with another quarantine, or flight-only bytes)
+	}
+	s.quarantineFile(path, reason)
+	mQuarantined.Inc()
+}
+
+// quarantineFile moves one file into quarantine/, suffixing the name if a
+// previous incarnation is already there. Move failures degrade to removal,
+// and removal failures are logged — a file we can neither move nor delete
+// must at least never be trusted again, which Get's verification ensures.
+func (s *DiskStore) quarantineFile(path string, reason error) {
+	dst := filepath.Join(s.qdir, filepath.Base(path))
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(s.qdir, fmt.Sprintf("%s.%d", filepath.Base(path), i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		if rerr := os.Remove(path); rerr != nil {
+			slog.Warn("rstore: could not quarantine or remove corrupt entry",
+				"path", path, "reason", reason, "err", err)
+			return
+		}
+	}
+	slog.Warn("rstore: quarantined corrupt entry",
+		"entry", filepath.Base(path), "kind", guard.Kind(reason), "reason", reason)
+}
+
+// Close releases the store. The disk backend holds no open handles, so
+// this is a no-op kept for the Store contract.
+func (s *DiskStore) Close() error { return nil }
+
+// shortFP abbreviates a fingerprint for log and error messages.
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12] + "…"
+	}
+	return fp
+}
+
+// writeFileSync writes b to path and fsyncs the file before closing, so
+// the subsequent rename can only expose fully durable bytes.
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry's directory record is
+// durable. Filesystems that refuse directory fsync (EINVAL on some network
+// mounts) are tolerated: the rename stays atomic, only durability-after-
+// crash degrades to the mount's own policy.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package rstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"neurometer/internal/guard"
+)
+
+// The on-disk entry codec. An entry is a self-verifying envelope around an
+// opaque payload:
+//
+//	offset 0   magic   "NMRS"
+//	offset 4   version uint32 LE (EntryVersion)
+//	offset 8   fpLen   uint32 LE
+//	offset 12  payLen  uint32 LE
+//	offset 16  fingerprint (fpLen bytes)
+//	...        payload     (payLen bytes)
+//	last 32    SHA-256 over every preceding byte
+//
+// The embedded fingerprint ties the bytes to the result they claim to be —
+// a file renamed or hard-linked onto the wrong key fails verification even
+// with an intact checksum — and the trailing digest catches torn writes
+// (truncation) and bit flips anywhere in the envelope. Decode never
+// panics and never trusts a length field it has not bounds-checked, so
+// arbitrary on-disk garbage (or fuzzer input) classifies cleanly as
+// guard.ErrCorrupt instead of crashing the reader.
+
+// EntryVersion is bumped whenever the envelope or payload format changes;
+// readers quarantine entries from any other version instead of guessing.
+const EntryVersion = 1
+
+const (
+	entryMagic    = "NMRS"
+	entryHeader   = 16 // magic + version + fpLen + payLen
+	entryChecksum = sha256.Size
+
+	// maxFingerprint / maxPayload bound the length fields a decoder will
+	// believe, so a corrupt header cannot drive a multi-gigabyte
+	// allocation.
+	maxFingerprint = 1 << 16
+	maxPayload     = 64 << 20
+)
+
+// EncodeEntry wraps a payload in the checksummed envelope.
+func EncodeEntry(fingerprint string, payload []byte) ([]byte, error) {
+	if fingerprint == "" {
+		return nil, guard.Invalid("rstore: empty fingerprint")
+	}
+	if len(fingerprint) > maxFingerprint {
+		return nil, guard.Invalid("rstore: fingerprint is %d bytes, max %d", len(fingerprint), maxFingerprint)
+	}
+	if len(payload) > maxPayload {
+		return nil, guard.Invalid("rstore: payload is %d bytes, max %d", len(payload), maxPayload)
+	}
+	b := make([]byte, 0, entryHeader+len(fingerprint)+len(payload)+entryChecksum)
+	b = append(b, entryMagic...)
+	b = binary.LittleEndian.AppendUint32(b, EntryVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(fingerprint)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, fingerprint...)
+	b = append(b, payload...)
+	sum := sha256.Sum256(b)
+	return append(b, sum[:]...), nil
+}
+
+// DecodeEntry unwraps and verifies an envelope: magic, version, length
+// sanity, and the trailing checksum. Every failure wraps guard.ErrCorrupt;
+// callers quarantine the bytes and recompute. The returned payload aliases
+// b.
+func DecodeEntry(b []byte) (fingerprint string, payload []byte, err error) {
+	if len(b) < entryHeader+entryChecksum {
+		return "", nil, guard.Corrupt("rstore: entry truncated to %d bytes", len(b))
+	}
+	if string(b[:4]) != entryMagic {
+		return "", nil, guard.Corrupt("rstore: bad magic %q", b[:4])
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != EntryVersion {
+		return "", nil, guard.Corrupt("rstore: entry version %d, this build reads version %d", v, EntryVersion)
+	}
+	fpLen := binary.LittleEndian.Uint32(b[8:12])
+	payLen := binary.LittleEndian.Uint32(b[12:16])
+	if fpLen == 0 || fpLen > maxFingerprint || payLen > maxPayload {
+		return "", nil, guard.Corrupt("rstore: implausible lengths fp=%d payload=%d", fpLen, payLen)
+	}
+	want := entryHeader + int(fpLen) + int(payLen) + entryChecksum
+	if len(b) != want {
+		return "", nil, guard.Corrupt("rstore: entry is %d bytes, header promises %d", len(b), want)
+	}
+	body := b[:want-entryChecksum]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], b[want-entryChecksum:]) {
+		return "", nil, guard.Corrupt("rstore: checksum mismatch")
+	}
+	fp := string(b[entryHeader : entryHeader+fpLen])
+	return fp, b[entryHeader+fpLen : entryHeader+int(fpLen)+int(payLen)], nil
+}

@@ -1,0 +1,65 @@
+package rstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"neurometer/internal/guard"
+)
+
+// FuzzDecodeEntry throws arbitrary bytes at the entry decoder: no input
+// may panic or allocate past the length bounds, every rejection must
+// classify as guard.ErrCorrupt, and anything the decoder accepts must
+// re-encode to the exact same bytes (the envelope has no redundant
+// freedom). Corpus seeds cover the interesting boundaries: valid entries,
+// truncations, and headers promising more than they deliver.
+func FuzzDecodeEntry(f *testing.F) {
+	valid, _ := EncodeEntry("fp", []byte("payload"))
+	empty, _ := EncodeEntry("k", nil)
+	f.Add([]byte{})
+	f.Add([]byte("NMRS"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(empty)
+	f.Add(bytes.Repeat([]byte{0xFF}, entryHeader+entryChecksum))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fp, payload, err := DecodeEntry(b) // must never panic
+		if err != nil {
+			if !errors.Is(err, guard.ErrCorrupt) {
+				t.Fatalf("rejection not classified as ErrCorrupt: %v", err)
+			}
+			return
+		}
+		re, eerr := EncodeEntry(fp, payload)
+		if eerr != nil {
+			t.Fatalf("accepted entry does not re-encode: %v", eerr)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted entry is not canonical: %d in, %d out", len(b), len(re))
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip drives the codec end to end: every encodable
+// (fingerprint, payload) pair must decode back to itself.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add("fp", []byte("payload"))
+	f.Add("x", []byte{})
+	f.Add("long-fingerprint-with-|delimiters|", []byte{0, 1, 2, 0xFF})
+
+	f.Fuzz(func(t *testing.T, fp string, payload []byte) {
+		b, err := EncodeEntry(fp, payload)
+		if err != nil {
+			return // rejected input (empty/oversized fingerprint) is fine
+		}
+		gotFP, gotPayload, err := DecodeEntry(b)
+		if err != nil {
+			t.Fatalf("encoded entry does not decode: %v", err)
+		}
+		if gotFP != fp || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round trip mismatch: fp=%q payload=%d bytes", gotFP, len(gotPayload))
+		}
+	})
+}

@@ -1,0 +1,417 @@
+package rstore
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"neurometer/internal/guard"
+	"neurometer/internal/obs"
+)
+
+func counter(name string) int64 {
+	return obs.Default().Snapshot().Counters[name]
+}
+
+// entryFile returns the single *.res file under the store's object tree,
+// failing the test unless exactly n exist (returns the first).
+func entryFiles(t *testing.T, s *DiskStore, n int) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(s.odir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == entryExt {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != n {
+		t.Fatalf("got %d entry files, want %d", len(files), n)
+	}
+	return files
+}
+
+func quarantined(t *testing.T, s *DiskStore) []string {
+	t.Helper()
+	ents, err := os.ReadDir(s.qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		b, err := EncodeEntry("fp-1", payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, got, err := DecodeEntry(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != "fp-1" || !bytes.Equal(got, payload) {
+			t.Fatalf("round trip mismatch: fp=%q payload=%d bytes", fp, len(got))
+		}
+	}
+	if _, err := EncodeEntry("", nil); !errors.Is(err, guard.ErrInvalidConfig) {
+		t.Fatalf("empty fingerprint: got %v, want ErrInvalidConfig", err)
+	}
+}
+
+func TestEntryEveryBitFlipDetected(t *testing.T) {
+	b, err := EncodeEntry("fingerprint", []byte("payload bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		mut := bytes.Clone(b)
+		mut[i] ^= 0x40
+		if _, _, err := DecodeEntry(mut); err == nil {
+			t.Fatalf("flip at offset %d went undetected", i)
+		} else if !errors.Is(err, guard.ErrCorrupt) {
+			t.Fatalf("flip at offset %d: got %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Every truncation must be detected too (torn write).
+	for n := 0; n < len(b); n++ {
+		if _, _, err := DecodeEntry(b[:n]); !errors.Is(err, guard.ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestEntryForeignVersionRejected(t *testing.T) {
+	b, err := EncodeEntry("fp", []byte("v2 payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(b[4:8], EntryVersion+1)
+	if _, _, err := DecodeEntry(b); !errors.Is(err, guard.ErrCorrupt) {
+		t.Fatalf("foreign version: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEntryImplausibleLengthsRejected(t *testing.T) {
+	b, _ := EncodeEntry("fp", []byte("p"))
+	for _, off := range []int{8, 12} { // fpLen, payLen
+		mut := bytes.Clone(b)
+		binary.LittleEndian.PutUint32(mut[off:off+4], 0xFFFFFFFF)
+		if _, _, err := DecodeEntry(mut); !errors.Is(err, guard.ErrCorrupt) {
+			t.Fatalf("huge length at %d: got %v, want ErrCorrupt", off, err)
+		}
+	}
+}
+
+func TestDiskPutGetAndMiss(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss: got %v, want ErrNotFound", err)
+	}
+	if err := s.Put("fp-a", []byte("row-a")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("fp-a")
+	if err != nil || string(got) != "row-a" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Overwrite is atomic last-writer-wins.
+	if err := s.Put("fp-a", []byte("row-a2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("fp-a"); string(got) != "row-a2" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+}
+
+func TestDiskGetQuarantinesBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fp-b", []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFiles(t, s, 1)[0]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := counter("rstore.corrupt_quarantined")
+	if _, err := s.Get("fp-b"); !errors.Is(err, guard.ErrCorrupt) {
+		t.Fatalf("Get on flipped entry: got %v, want ErrCorrupt", err)
+	}
+	if got := counter("rstore.corrupt_quarantined") - before; got != 1 {
+		t.Fatalf("corrupt_quarantined delta = %d, want 1", got)
+	}
+	if q := quarantined(t, s); len(q) != 1 {
+		t.Fatalf("quarantine holds %v, want one entry", q)
+	}
+	// The bad copy is gone: reads now miss instead of re-reading garbage.
+	if _, err := s.Get("fp-b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after quarantine: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestDiskRecoveryScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("keep", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("torn", []byte("will be truncated")); err != nil {
+		t.Fatal(err)
+	}
+	// A SIGKILL between write and rename leaves a *.tmp orphan.
+	good := entryFiles(t, s, 2)[0]
+	if err := os.WriteFile(good+".tmp", []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second entry (truncate mid-payload).
+	var torn string
+	for _, f := range entryFiles(t, s, 2) {
+		raw, _ := os.ReadFile(f)
+		if _, p, err := DecodeEntry(raw); err == nil && string(p) == "will be truncated" {
+			torn = f
+		}
+	}
+	raw, _ := os.ReadFile(torn)
+	if err := os.WriteFile(torn, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An entry filed under the wrong name (hard-linked / renamed garbage).
+	misfiled, _ := EncodeEntry("some-other-fp", []byte("misfiled"))
+	if err := os.WriteFile(filepath.Join(filepath.Dir(good), "00deadbeef"+entryExt), misfiled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A file the store does not own is left alone.
+	foreign := filepath.Join(filepath.Dir(good), "notes.txt")
+	if err := os.WriteFile(foreign, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("scan over damaged store must not fail: %v", err)
+	}
+	r := s2.Report()
+	if r.Entries != 1 || r.Quarantined != 2 || r.TmpRemoved != 1 {
+		t.Fatalf("scan report = %+v, want entries=1 quarantined=2 tmp_removed=1", r)
+	}
+	if got, err := s2.Get("keep"); err != nil || string(got) != "good" {
+		t.Fatalf("surviving entry: %q, %v", got, err)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("foreign file must be untouched: %v", err)
+	}
+	if q := quarantined(t, s2); len(q) != 2 {
+		t.Fatalf("quarantine holds %v, want two entries", q)
+	}
+}
+
+func TestDiskScanFaultInjection(t *testing.T) {
+	defer guard.DisarmAll()
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fp", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	defer guard.Arm("rstore.scan", guard.Fault{Err: errors.New("injected scan failure")})()
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("scan with per-entry fault must still open: %v", err)
+	}
+	if r := s2.Report(); r.Quarantined != 1 || r.Entries != 0 {
+		t.Fatalf("scan report = %+v, want the unreadable entry quarantined", r)
+	}
+}
+
+func TestPutFaultInjection(t *testing.T) {
+	defer guard.DisarmAll()
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer guard.Arm("rstore.write", guard.Fault{Err: syscall.ENOSPC, Count: 1})()
+	if err := s.Put("fp", []byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put under ENOSPC: got %v", err)
+	}
+	entryFiles(t, s, 0)
+	// The next write (disk recovered) succeeds.
+	if err := s.Put("fp", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFaultDegradesLookup(t *testing.T) {
+	defer guard.DisarmAll()
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fp", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(s)
+	defer guard.Arm("rstore.read", guard.Fault{Err: guard.Unavailable("injected io error"), Count: 1})()
+	before := counter("rstore.degraded")
+	if c.Lookup(context.Background(), "fp", func([]byte) error { return nil }) {
+		t.Fatal("Lookup must degrade under a read fault")
+	}
+	if got := counter("rstore.degraded") - before; got != 1 {
+		t.Fatalf("degraded delta = %d, want 1", got)
+	}
+	// Fault cleared: the entry is intact and the lookup hits.
+	if !c.Lookup(context.Background(), "fp", func([]byte) error { return nil }) {
+		t.Fatal("Lookup must hit once the fault clears")
+	}
+}
+
+func TestLookupRejectedPayloadQuarantined(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fp", []byte("checksum-valid but semantically bad")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(s)
+	before := counter("rstore.corrupt_quarantined")
+	ok := c.Lookup(context.Background(), "fp", func([]byte) error {
+		return guard.Corrupt("verify says no")
+	})
+	if ok {
+		t.Fatal("Lookup must fail when verify rejects")
+	}
+	if got := counter("rstore.corrupt_quarantined") - before; got != 1 {
+		t.Fatalf("corrupt_quarantined delta = %d, want 1", got)
+	}
+	if _, err := s.Get("fp"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rejected entry must be quarantined: got %v", err)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(s)
+	var calls atomic.Int32
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters)
+	sharedCount := atomic.Int32{}
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload, shared, err := c.Compute(context.Background(), "fp", func() ([]byte, error) {
+				calls.Add(1)
+				<-release // hold the flight open until everyone has joined
+				return []byte("the answer"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = payload
+		}(i)
+	}
+	// Wait until the leader is inside fn, then let the flight finish. The
+	// waiters may not all have joined yet, but at least the leader is
+	// committed; joining later is also fine (they hit the flight map).
+	for calls.Load() == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	for i, r := range results {
+		if string(r) != "the answer" {
+			t.Fatalf("waiter %d got %q", i, r)
+		}
+	}
+	// The leader persisted; a later lookup hits from disk.
+	if !c.Lookup(context.Background(), "fp", func(p []byte) error {
+		if string(p) != "the answer" {
+			return guard.Corrupt("bad bytes")
+		}
+		return nil
+	}) {
+		t.Fatal("persisted flight result must be readable")
+	}
+}
+
+func TestCacheComputeErrorPropagates(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(s)
+	boom := errors.New("eval failed")
+	if _, _, err := c.Compute(context.Background(), "fp", func() ([]byte, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the compute error", err)
+	}
+	// Failures are never persisted.
+	if _, err := s.Get("fp"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed compute must not persist: got %v", err)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if c.Lookup(context.Background(), "fp", func([]byte) error { return nil }) {
+		t.Fatal("nil cache must miss")
+	}
+	payload, shared, err := c.Compute(context.Background(), "fp", func() ([]byte, error) {
+		return []byte("direct"), nil
+	})
+	if err != nil || shared || string(payload) != "direct" {
+		t.Fatalf("nil cache Compute = %q, %v, %v", payload, shared, err)
+	}
+	c.Add("fp", []byte("x"))
+	c.ReportBad(context.Background(), "fp", errors.New("x"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if NewCache(nil) != nil {
+		t.Fatal("NewCache(nil) must be nil")
+	}
+}

@@ -44,7 +44,7 @@ func TestWorkerEvalEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	sh := tinyShard(t)
 
-	want, err := dse.EvalShard(context.Background(), sh, 1)
+	want, err := dse.EvalShard(context.Background(), sh, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -173,10 +174,34 @@ type jobStore struct {
 }
 
 func newJobStore(s *Server) *jobStore {
+	cleanJobsDir(s.cfg.JobsDir)
 	return &jobStore{
 		s:    s,
 		sem:  make(chan struct{}, s.cfg.StudyLimit),
 		jobs: map[string]*job{},
+	}
+}
+
+// cleanJobsDir is the startup hygiene scan of the jobs directory: a SIGKILL
+// between a checkpoint's tmp write and its rename leaves an orphaned
+// *.ckpt.json.tmp that no future flush will ever reclaim (each job writes
+// its own path). The orphans are harmless to correctness — resume reads
+// only the renamed file — but they accumulate forever and confuse
+// operators listing the directory, so they are removed on boot. Nothing
+// else is touched, and a missing or unreadable directory is a no-op: job
+// persistence degrades, serving does not.
+func cleanJobsDir(dir string) {
+	if dir == "" {
+		return
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		return
+	}
+	for _, path := range matches {
+		if err := os.Remove(path); err == nil {
+			slog.Info("serve: removed orphaned checkpoint tmp file", "path", path)
+		}
 	}
 }
 
@@ -372,6 +397,8 @@ func (s *Server) studySubmit(r *http.Request) (int, any, error) {
 		// In coordinator mode, studies shard across the worker fleet;
 		// whatever the fleet cannot resolve is evaluated in-process.
 		Dispatch: s.cfg.Dispatch,
+		// Study jobs read through the shared result store (nil = disabled).
+		Results: s.cfg.Results,
 	}
 	if req.Workers > 0 {
 		hard.Workers = req.Workers

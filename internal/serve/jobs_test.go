@@ -235,3 +235,30 @@ func TestConcurrentSoak(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestStartupRemovesOrphanedTmpFiles: a crash between a checkpoint's tmp
+// write and its rename leaves a *.tmp dropping in the jobs dir. The next
+// server incarnation's hygiene scan must remove it — and only it: real
+// checkpoint files and unrelated names stay untouched.
+func TestStartupRemovesOrphanedTmpFiles(t *testing.T) {
+	jobsDir := t.TempDir()
+	orphan := filepath.Join(jobsDir, "deadbeef.ckpt.json.tmp")
+	keepCkpt := filepath.Join(jobsDir, "cafef00d.ckpt.json")
+	keepOther := filepath.Join(jobsDir, "notes.txt")
+	for _, p := range []string{orphan, keepCkpt, keepOther} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	New(Config{JobsDir: jobsDir})
+
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned tmp file survived startup: stat err = %v", err)
+	}
+	for _, p := range []string{keepCkpt, keepOther} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("startup hygiene removed %s: %v", filepath.Base(p), err)
+		}
+	}
+}

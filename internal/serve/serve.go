@@ -18,6 +18,7 @@ import (
 	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 	"neurometer/internal/perfsim"
+	"neurometer/internal/rstore"
 	"neurometer/internal/workloads"
 )
 
@@ -59,6 +60,13 @@ type Config struct {
 	// uniform 0..RetryAfterJitter seconds, de-synchronizing shed clients
 	// that would otherwise all retry on the same tick. Negative disables.
 	RetryAfterJitter int
+	// Results, when non-nil, is the persistent content-addressed result
+	// store shared by this process: study jobs read through it
+	// (dse.Hardening.Results) and /v1/worker/eval consults it before
+	// evaluating shard candidates, so a worker that already knows an
+	// answer serves it from disk. nil disables result caching; store
+	// faults degrade to evaluation and never fail a request.
+	Results *rstore.Cache
 	// Dispatch, when non-nil, is installed as dse.Hardening.Dispatch for
 	// study jobs — typically fleet.Coordinator.Dispatch, making this
 	// process the coordinator of a worker fleet. Candidates the dispatcher
@@ -421,7 +429,7 @@ func (s *Server) workerEval(r *http.Request) (int, any, error) {
 	if err := guard.Inject(ctx, "fleet.shard"); err != nil {
 		return 0, nil, err
 	}
-	outs, err := dse.EvalShard(ctx, sh, s.cfg.Workers)
+	outs, err := dse.EvalShard(ctx, sh, s.cfg.Workers, s.cfg.Results)
 	root.End() // nil-safe; must end before export so the subtree is complete
 	if err != nil {
 		return 0, nil, err
