@@ -24,7 +24,15 @@
 // order, and checkpoint files marshal with sorted keys — so the formatted
 // tables, CSV output and checkpoint bytes are identical at every worker
 // count, including a serial run. Workers <= 1 runs inline on the caller's
-// goroutine (the historical serial path). See DESIGN.md §9.
+// goroutine (the historical serial path). Workers claim candidates in
+// blocks of Hardening.BlockSize consecutive indices (0 = DefaultBlockSize),
+// which keeps each worker's evaluation scratch and the study's prepared
+// workload tables hot without affecting output bytes. See DESIGN.md §9 and
+// §14.
+//
+// Each study prepares its workload graphs once (perfsim.Prepare) and every
+// candidate evaluation runs into pooled result scratch, so the per-candidate
+// hot path is allocation-free in the steady state; see PERFORMANCE.md.
 //
 // Repeated chip constructions across sweeps and figure drivers hit the
 // chip.BuildCached memo; cache traffic is visible as

@@ -181,7 +181,9 @@ func EnumerateParallel(ctx context.Context, cs Constraints, workers int) []Candi
 	points := cs.sweepPoints()
 	results := make([]*Candidate, len(points))
 	var tried atomic.Int64
-	interrupted := runPool(ctx, len(points), workers, func(i int) {
+	// Block size 1: builds are heavyweight, memoized, and unevenly pruned,
+	// so fine-grained claiming balances better than blocks here.
+	interrupted := runPool(ctx, len(points), workers, 1, func(i int) {
 		p := points[i]
 		mEnumerated.Inc()
 		if n := tried.Add(1); n%progressEvery == 0 {
@@ -399,6 +401,14 @@ type Hardening struct {
 	// collected by candidate index, so output is byte-identical across
 	// worker counts.
 	Workers int
+	// BlockSize is the number of consecutive candidates a worker claims at
+	// a time (< 1, including the zero value, resolves to DefaultBlockSize).
+	// Larger blocks keep a worker's evaluation scratch and the prepared
+	// workload tables hot across a run of candidates at the cost of coarser
+	// load balancing near the end of a sweep. The block size only changes
+	// which worker evaluates which candidate — results are collected by
+	// index, so output is byte-identical at any (Workers, BlockSize) pair.
+	BlockSize int
 	// Dispatch, when non-nil, is offered the pending (not checkpointed)
 	// candidates before the local pool runs: it evaluates whatever it can
 	// remotely — fleet.Coordinator.Dispatch shards them across workers —
@@ -565,8 +575,12 @@ func RuntimeStudyHardened(ctx context.Context, cands []Candidate, models []*grap
 		pending = remaining
 	}
 
+	// One simulation context for the whole study: every workload graph is
+	// validated and prepared exactly once here, then shared read-only by
+	// all workers — the per-candidate hot path never re-parses a graph.
+	sim := newStudySim(models)
 	var completed atomic.Int64
-	poolErr := runPool(ctx, len(pending), h.Workers, func(pi int) {
+	poolErr := runPool(ctx, len(pending), h.Workers, h.BlockSize, func(pi int) {
 		i := pending[pi]
 		cand := cands[i]
 		cctx, cspan := obs.Start(ctx, "dse.candidate")
@@ -576,7 +590,7 @@ func RuntimeStudyHardened(ctx context.Context, cands []Candidate, models []*grap
 		if h.Results != nil {
 			fp = CandidateFingerprint(cand.Chip.Cfg, names, spec, opt)
 		}
-		row, err := evalStoreAware(cctx, h.Results, fp, cand, models, spec, opt, h)
+		row, err := evalStoreAware(cctx, h.Results, fp, cand, sim, spec, opt, h)
 		mEvalLatency.Observe(time.Since(evalStart).Seconds())
 		cspan.End()
 		if n := completed.Add(1); n%progressEvery == 0 || n == int64(len(pending)) {
@@ -644,15 +658,48 @@ func RuntimeStudyHardened(ctx context.Context, cands []Candidate, models []*grap
 	return rows, nil
 }
 
+// studySim is the simulation context one study shares across all of its
+// candidate evaluations: every workload graph validated and prepared
+// exactly once, so the per-candidate hot path runs straight into the
+// closed forms. Immutable after newStudySim and safe for any number of
+// concurrent workers.
+//
+// A model that fails Prepare keeps a nil entry and falls back to the
+// historical per-candidate SimulateCtx path, which surfaces the same
+// validation error bytes from the same candidate the serial engine would.
+type studySim struct {
+	models   []*graph.Graph
+	prepared []*perfsim.Prepared
+}
+
+func newStudySim(models []*graph.Graph) *studySim {
+	s := &studySim{models: models, prepared: make([]*perfsim.Prepared, len(models))}
+	for i, g := range models {
+		if p, err := perfsim.Prepare(g); err == nil {
+			s.prepared[i] = p
+		}
+	}
+	return s
+}
+
+// evalScratch is one evaluation's reusable simulation output. Two Results
+// because the latency-bound regime double-buffers its probe batches
+// (perfsim.LatencyLimitedInto); the fixed-batch regime uses only a.
+type evalScratch struct {
+	a, b perfsim.Result
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
 // evalWithRetry evaluates one candidate under the hardening envelope:
 // deadline per attempt, bounded retry of retryable failures.
-func evalWithRetry(ctx context.Context, cand Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options, h Hardening) (RuntimeRow, error) {
+func evalWithRetry(ctx context.Context, cand Candidate, sim *studySim, spec BatchSpec, opt perfsim.Options, h Hardening) (RuntimeRow, error) {
 	for attempt := 0; ; attempt++ {
 		actx, cancel := ctx, context.CancelFunc(func() {})
 		if h.CandidateTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, h.CandidateTimeout)
 		}
-		row, err := evalCandidate(actx, cand, models, spec, opt)
+		row, err := evalCandidate(actx, cand, sim, spec, opt)
 		cancel()
 		if err == nil {
 			return row, nil
@@ -671,19 +718,31 @@ func evalWithRetry(ctx context.Context, cand Candidate, models []*graph.Graph, s
 // evalCandidate simulates one candidate over the workload set and
 // aggregates its Fig. 10 row. Panics anywhere below are converted to
 // guard.ErrCandidatePanic; the aggregated row is finite-checked before it
-// can reach a frontier or CSV.
-func evalCandidate(ctx context.Context, cand Candidate, models []*graph.Graph, spec BatchSpec, opt perfsim.Options) (row RuntimeRow, err error) {
+// can reach a frontier or CSV. Simulation output lands in pooled scratch,
+// so the steady state of a sweep allocates only the row's Batches slice.
+func evalCandidate(ctx context.Context, cand Candidate, sim *studySim, spec BatchSpec, opt perfsim.Options) (row RuntimeRow, err error) {
 	defer guard.RecoverTo(&err)
 	if ierr := guard.Inject(ctx, "dse.candidate"); ierr != nil {
 		return RuntimeRow{}, fmt.Errorf("dse: candidate %s: %w", cand.Point, ierr)
 	}
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
 	row = RuntimeRow{Point: cand.Point, PeakTOPS: cand.PeakTOPS}
+	nModels := float64(len(sim.models))
 	utilProd, wEffProd, cEffProd := 1.0, 1.0, 1.0
-	for _, g := range models {
+	for mi, g := range sim.models {
 		var res *perfsim.Result
 		var serr error
 		batch := spec.Fixed
-		if batch > 0 {
+		if p := sim.prepared[mi]; p != nil {
+			if batch > 0 {
+				if serr = p.SimulateInto(ctx, cand.Chip, batch, opt, &sc.a); serr == nil {
+					res = &sc.a
+				}
+			} else {
+				batch, res, serr = p.LatencyLimitedInto(ctx, cand.Chip, spec.LatencyBound, opt, &sc.a, &sc.b)
+			}
+		} else if batch > 0 {
 			res, serr = perfsim.SimulateCtx(ctx, cand.Chip, g, batch, opt)
 		} else {
 			batch, res, serr = perfsim.LatencyLimitedBatchCtx(ctx, cand.Chip, g, spec.LatencyBound, opt)
@@ -693,14 +752,14 @@ func evalCandidate(ctx context.Context, cand Candidate, models []*graph.Graph, s
 				cand.Point, g.Name, spec, serr)
 		}
 		e := cand.Chip.Efficiency(res.AchievedTOPS*1e12, res.Activity)
-		row.AchievedTOPS += res.AchievedTOPS / float64(len(models))
-		row.PowerW += e.PowerW / float64(len(models))
+		row.AchievedTOPS += res.AchievedTOPS / nModels
+		row.PowerW += e.PowerW / nModels
 		utilProd *= res.Utilization
 		wEffProd *= e.TOPSPerWatt
 		cEffProd *= e.TOPSPerTCO
 		row.Batches = append(row.Batches, batch)
 	}
-	inv := 1.0 / float64(len(models))
+	inv := 1.0 / nModels
 	row.Utilization = math.Pow(utilProd, inv)
 	row.TOPSPerWatt = math.Pow(wEffProd, inv)
 	row.TOPSPerTCO = math.Pow(cEffProd, inv)

@@ -1,10 +1,54 @@
 package dse_test
 
 import (
+	"context"
 	"fmt"
 
 	"neurometer/internal/dse"
+	"neurometer/internal/graph"
+	"neurometer/internal/perfsim"
+	"neurometer/internal/workloads"
 )
+
+// Hardening.Workers and Hardening.BlockSize tune how a runtime study's
+// worker pool claims candidates: Workers bounds the goroutine pool, and
+// BlockSize is how many consecutive candidates one worker claims at a time
+// (0 = dse.DefaultBlockSize), keeping its evaluation scratch hot across a
+// run of candidates. Neither knob changes output — results are collected by
+// candidate index, so any (Workers, BlockSize) combination emits the same
+// bytes as a serial run.
+func ExampleHardening() {
+	cs := dse.TableI()
+	cs.XChoices, cs.NChoices, cs.MaxTiles = []int{8, 64}, []int{2, 4}, 32
+	cands := dse.SecondRound(dse.EnumerateCtx(context.Background(), cs), cs.TOPSCap)
+	g, err := workloads.ByName("alexnet")
+	if err != nil {
+		fmt.Println("workload:", err)
+		return
+	}
+	models := []*graph.Graph{g}
+	spec := dse.BatchSpec{Fixed: 8}
+	opt := perfsim.DefaultOptions()
+
+	serial, err := dse.RuntimeStudyHardened(context.Background(), cands, models, spec, opt,
+		dse.Hardening{Workers: 1, BlockSize: 1})
+	if err != nil {
+		fmt.Println("study:", err)
+		return
+	}
+	blocked, err := dse.RuntimeStudyHardened(context.Background(), cands, models, spec, opt,
+		dse.Hardening{Workers: 8, BlockSize: 7})
+	if err != nil {
+		fmt.Println("study:", err)
+		return
+	}
+	fmt.Println("rows:", len(blocked) > 0)
+	fmt.Println("byte-identical to serial:",
+		dse.RuntimeRowsCSV(blocked) == dse.RuntimeRowsCSV(serial))
+	// Output:
+	// rows: true
+	// byte-identical to serial: true
+}
 
 // Winner ranks a runtime study's rows by one of the Fig. 10 metrics. The
 // paper's headline result falls out of exactly this call: the brawny

@@ -124,11 +124,15 @@ func EvalShard(ctx context.Context, sh Shard, workers int, cache *rstore.Cache) 
 		CandidateTimeout: time.Duration(sh.CandidateTimeoutMS) * time.Millisecond,
 		MaxRetries:       sh.MaxRetries,
 	}
+	// The whole shard shares one simulation context: every workload prepared
+	// once, candidates evaluated as one batch over it — a worker's hot path
+	// is the same prepared closed forms the coordinator's local pool runs.
+	sim := newStudySim(models)
 	outs := make([]ShardOutcome, len(sh.Cands))
-	runPool(ctx, len(sh.Cands), workers, func(i int) {
+	runPool(ctx, len(sh.Cands), workers, 0, func(i int) {
 		sc := sh.Cands[i]
 		cctx, sp := obs.Start(ctx, "dse.candidate", obs.Int("index", int64(sc.Index)))
-		outs[i] = evalShardCandidate(cctx, sc, sh, models, h, cache)
+		outs[i] = evalShardCandidate(cctx, sc, sh, sim, h, cache)
 		sp.End()
 	})
 	if err := guard.CtxErr(ctx); err != nil {
@@ -140,7 +144,7 @@ func EvalShard(ctx context.Context, sh Shard, workers int, cache *rstore.Cache) 
 // evalShardCandidate resolves one shard candidate: a verified store hit
 // skips even the chip rebuild; otherwise the chip is rebuilt and the
 // candidate evaluated through the store's single-flight layer.
-func evalShardCandidate(ctx context.Context, sc ShardCandidate, sh Shard, models []*graph.Graph, h Hardening, cache *rstore.Cache) ShardOutcome {
+func evalShardCandidate(ctx context.Context, sc ShardCandidate, sh Shard, sim *studySim, h Hardening, cache *rstore.Cache) ShardOutcome {
 	out := ShardOutcome{Index: sc.Index}
 	var fp string
 	if cache != nil {
@@ -154,7 +158,7 @@ func evalShardCandidate(ctx context.Context, sc ShardCandidate, sh Shard, models
 	if err == nil {
 		cand := Candidate{Point: sc.Point, Chip: c, PeakTOPS: c.PeakTOPS()}
 		var row RuntimeRow
-		row, err = evalStoreAware(ctx, cache, fp, cand, models, sh.Spec, sh.Opt, h)
+		row, err = evalStoreAware(ctx, cache, fp, cand, sim, sh.Spec, sh.Opt, h)
 		if err == nil {
 			out.Row = &row
 			return out

@@ -21,6 +21,20 @@
 // concurrently — this is exactly what the dse parallel sweep engine does —
 // and identical inputs always produce bitwise-identical Results.
 //
+// # Batch evaluation
+//
+// The design-space engine asks one question many times: "this workload,
+// this batch size, these N candidate chips". Prepare validates a graph once
+// and precomputes every chip-independent per-layer quantity; SimulateBatch
+// (and the lower-level Prepared methods SimulateInto / LatencyLimitedInto)
+// then run the same closed forms over each candidate into pooled result
+// scratch, so the steady state allocates nothing per candidate. Headline
+// metrics are bit-identical to per-candidate SimulateCtx calls; per-layer
+// LayerStat detail is a single-candidate feature — use SimulateCtx when
+// Layers matter. BatchResults come from a sync.Pool: Release them when done
+// and copy out anything that must outlive the batch. See PERFORMANCE.md for
+// the measured profile and the benchmark trajectory.
+//
 // # Error contract
 //
 // Simulate returns errors classified under the guard taxonomy:

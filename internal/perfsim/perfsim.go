@@ -104,6 +104,11 @@ func Simulate(c *chip.Chip, g *graph.Graph, batch int, opt Options) (*Result, er
 // honored between layers (a canceled or expired ctx aborts the simulation
 // with guard.ErrCanceled/ErrTimeout), and the headline result metrics are
 // finite-checked before returning so NaN/Inf never escapes into sweeps.
+//
+// SimulateCtx re-validates and re-prepares the graph on every call. When
+// evaluating many chips against one workload, Prepare the graph once and
+// use (*Prepared).SimulateInto or SimulateBatch, which amortize that cost
+// and reuse result scratch; both produce bit-identical headline metrics.
 func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, opt Options) (res *Result, err error) {
 	defer guard.RecoverTo(&err)
 	if c == nil {
@@ -122,12 +127,51 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 	defer span.End()
 	span.SetStr("graph", g.Name)
 	span.SetInt("batch", int64(batch))
-	if err := g.Validate(); err != nil {
-		return nil, guard.Invalid("perfsim: %v", err)
+	p, err := Prepare(g)
+	if err != nil {
+		return nil, err
 	}
+	res = &Result{Layers: make([]LayerStat, 0, len(g.Layers))}
+	if err := simulateInto(ctx, c, p, batch, opt, res, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func nonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// fmax/fmin are branch-only max/min for the simulator's closed-form value
+// domain: non-negative finite quantities or +Inf, never NaN and never -0
+// (every operand is a count, a byte total, or a cycle count). On that
+// domain they are bit-identical to math.Max/math.Min, without the
+// function-call and NaN/±0 handling cost (math.Max is not an intrinsic on
+// amd64 and showed up at ~25% of the batch inner loop).
+func fmax(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fmin(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// simulateInto is the shared simulation core. It fully overwrites *res
+// (reusing the Layers backing array) and allocates nothing on the steady
+// state when detail is false: per-layer spans and LayerStat records are
+// produced only for the detailed single-candidate path (SimulateCtx), while
+// the batch/sweep path accumulates through locals. Both modes execute the
+// same closed forms in the same order, so headline metrics are
+// bit-identical between them.
+func simulateInto(ctx context.Context, c *chip.Chip, p *Prepared, batch int, opt Options, res *Result, detail bool) (err error) {
+	defer guard.RecoverTo(&err)
 	core := c.Core
 	if core.TU == nil {
-		return nil, guard.Invalid("perfsim: chip %q has no tensor units (RT chips use the sparse roofline model)", c.Cfg.Name)
+		return guard.Invalid("perfsim: chip %q has no tensor units (RT chips use the sparse roofline model)", c.Cfg.Name)
 	}
 
 	x := float64(core.Cfg.TUCols)
@@ -151,9 +195,11 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 	if core.Mem != nil {
 		memBytes = float64(core.Mem.CapacityBytes()) * cores
 	}
-	weightsResident := float64(g.Params()) <= memBytes*0.85
+	weightsResident := p.params <= memBytes*0.85
 
-	res = &Result{Batch: batch}
+	layers := res.Layers[:0]
+	*res = Result{Batch: batch, Layers: layers}
+	batchF := float64(batch)
 	act := chip.Activity{ClockGateIdleFrac: 0.5}
 	var totalMACs, totalVecOps float64
 	// streamMACs counts cell-cycles actually clocked through the arrays,
@@ -164,31 +210,54 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 	var streamMACs float64
 	var memRead, memWrite, nocBytes, hbmBytes float64
 
-	for _, l := range g.Layers {
+	// Chip-level constants hoisted out of the layer loop; each is exactly
+	// the subexpression the per-layer forms used, so hoisting cannot change
+	// a single bit of the result.
+	hopCycles := c.NoC.AvgHops() * c.NoC.HopLatencyCycles()
+	// Weight double buffering overlaps most of the tile switch, but
+	// skewed refill still exposes ~half an array depth per round;
+	// without it every round pays the full load + fill bubble.
+	bubble := 3 * x // fill + drain + weight load, per round
+	oneTime := 0.0
+	if opt.DoubleBuffer {
+		bubble = 2 * x // fill + drain; only the weight load overlaps
+		oneTime = 0
+	}
+
+	// Deadline checks gate on the Done channel: nil for non-cancelable
+	// contexts (skip entirely), and a lock-free poll otherwise —
+	// guard.CtxErr (which classifies via context.Cause, taking a mutex)
+	// runs only once the context is actually dead, returning the identical
+	// error it always did.
+	done := ctx.Done()
+	for li := range p.layers {
+		lv := &p.layers[li]
 		// Deadline check per layer: analytical layers are cheap, so this is
 		// the granularity at which a per-candidate timeout can actually
 		// interrupt a simulation.
-		if err := guard.CtxErr(ctx); err != nil {
-			return nil, err
+		if done != nil {
+			select {
+			case <-done:
+				return guard.CtxErr(ctx)
+			default:
+			}
 		}
 		if err := guard.Inject(ctx, "perfsim.layer"); err != nil {
-			return nil, err
+			return err
 		}
-		_, lspan := obs.Start(ctx, "perfsim.layer")
-		st := LayerStat{Name: l.Name, Kind: l.Kind}
-		macs := float64(l.MACs()) * float64(batch)
-		vops := float64(l.VectorOps()) * float64(batch)
+		macs := lv.macs * batchF
+		vops := lv.vops * batchF
 		totalMACs += macs
 
-		if l.Kind.IsMatrixOp() {
-			m0, k0, n0 := l.GEMM()
-			mF, kF := float64(m0)*float64(batch), float64(k0)
-			nF := float64(n0)
+		var cyc float64
+		if lv.isMatrix {
+			mF, kF := lv.m0*batchF, lv.k0
+			nF := lv.n0
 
 			// Space-to-Depth: fold spatial into depth when K underfills
 			// the array (early convs: K = 27..147 vs X up to 256).
-			if opt.SpaceToDepth && l.Kind == graph.Conv2D && kF < x/2 && mF >= 4 {
-				fold := math.Min(4, math.Floor(x/kF))
+			if opt.SpaceToDepth && lv.kind == graph.Conv2D && kF < x/2 && mF >= 4 {
+				fold := fmin(4, math.Floor(x/kF))
 				if fold >= 2 {
 					kF *= fold
 					mF = math.Ceil(mF / fold)
@@ -198,30 +267,12 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 			kt := math.Ceil(kF / x)
 			nt := math.Ceil(nF / x)
 			tiles := kt * nt
-			// Weight double buffering overlaps most of the tile switch, but
-			// skewed refill still exposes ~half an array depth per round;
-			// without it every round pays the full load + fill bubble.
-			bubble := 3 * x // fill + drain + weight load, per round
-			oneTime := 0.0
-			if opt.DoubleBuffer {
-				bubble = 2 * x // fill + drain; only the weight load overlaps
-				oneTime = 0
-			}
 
 			// The scheduler evaluates three mappings and picks the fastest,
 			// mirroring TF-Sim's "advanced runtime graph scheduling". Fill
 			// and drain cost one array-depth bubble per tile round (draining
-			// tile i overlaps filling tile i+1).
-			type mapping struct {
-				name      string
-				compute   float64
-				noc       float64 // bisection-crossing transfer cycles
-				vu        float64
-				nocEnergy float64 // bytes, replication included
-				cores     float64
-				tus       float64
-			}
-			var cands []mapping
+			// tile i overlaps filling tile i+1). Each mapping is evaluated
+			// into scalar locals — no per-layer candidate slice.
 
 			// ---- A: N-split across cores (no inter-core psum merging) ----
 			// Each core owns a slice of the output channels; partial sums
@@ -230,109 +281,97 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 			// therefore capped by the N-tile count: with few output-channel
 			// tiles, part of the chip idles — the reason small batches
 			// cannot feed many brawny cores.
-			{
-				coresA := math.Min(cores, nt)
-				ntc := math.Ceil(nt / coresA)
-				roundsA := math.Ceil(ntc * kt / tuPerCore)
-				cA := roundsA*(mF+bubble) + oneTime
-				// Intra-core K-splits accumulate in the core's accumulator
-				// buffer (the TPU pattern): no VU cost.
-				vuA := 0.0
-				bcastA := 0.0
-				if coresA > 1 {
-					bcastA = mF * kF * mulBytes // activations, one crossing
-				}
-				cands = append(cands, mapping{
-					name: "n-split", compute: cA, noc: bcastA / nocBPC, vu: vuA,
-					nocEnergy: mF * kF * mulBytes * (coresA - 1) * multicastShare,
-					cores:     coresA,
-					tus:       math.Min(coresA*tuPerCore, tiles),
-				})
+			coresA := fmin(cores, nt)
+			ntc := math.Ceil(nt / coresA)
+			roundsA := math.Ceil(ntc * kt / tuPerCore)
+			compA := roundsA*(mF+bubble) + oneTime
+			// Intra-core K-splits accumulate in the core's accumulator
+			// buffer (the TPU pattern): no VU cost.
+			vuA := 0.0
+			bcastA := 0.0
+			if coresA > 1 {
+				bcastA = mF * kF * mulBytes // activations, one crossing
 			}
+			nocA := bcastA / nocBPC
+			energyA := mF * kF * mulBytes * (coresA - 1) * multicastShare
+			tusA := fmin(coresA*tuPerCore, tiles)
 
 			// ---- B: K+N split across cores (inter-core psum merging) ------
-			{
-				var cB float64
-				if tiles >= totalTUs {
-					cB = math.Ceil(tiles/totalTUs)*(mF+bubble) + oneTime
-				} else {
-					share := math.Floor(totalTUs / tiles)
-					cB = math.Ceil(mF/share) + bubble + oneTime
-				}
-				kSplit := math.Min(kt, math.Max(1, math.Floor(totalTUs/nt)))
-				coresK := math.Ceil(kSplit / tuPerCore)
-				// Every K-split pair produces a full M x N partial-sum tensor
-				// that must be summed; the cross-core fraction rides the NoC.
-				mergeB := math.Max(0, kSplit-1) * mF * nF * accBytes *
-					(coresK - 1) / math.Max(coresK, 1)
-				bcastB := 0.0
-				if math.Min(cores, tiles) > 1 {
-					bcastB = mF * kF * mulBytes
-				}
-				vuB := math.Max(0, kSplit-1) * mF * nF / lanes
-				cands = append(cands, mapping{
-					name: "kn-split", compute: cB, noc: (mergeB + bcastB) / nocBPC, vu: vuB,
-					nocEnergy: mergeB + mF*kF*mulBytes*(math.Min(cores, tiles)-1)*multicastShare,
-					cores:     math.Min(cores, tiles),
-					tus:       math.Min(totalTUs, tiles*math.Max(1, math.Floor(totalTUs/tiles))),
-				})
+			var compB float64
+			if tiles >= totalTUs {
+				compB = math.Ceil(tiles/totalTUs)*(mF+bubble) + oneTime
+			} else {
+				share := math.Floor(totalTUs / tiles)
+				compB = math.Ceil(mF/share) + bubble + oneTime
 			}
+			kSplit := fmin(kt, fmax(1, math.Floor(totalTUs/nt)))
+			coresK := math.Ceil(kSplit / tuPerCore)
+			// Every K-split pair produces a full M x N partial-sum tensor
+			// that must be summed; the cross-core fraction rides the NoC.
+			mergeB := fmax(0, kSplit-1) * mF * nF * accBytes *
+				(coresK - 1) / fmax(coresK, 1)
+			bcastB := 0.0
+			if fmin(cores, tiles) > 1 {
+				bcastB = mF * kF * mulBytes
+			}
+			vuB := fmax(0, kSplit-1) * mF * nF / lanes
+			nocB := (mergeB + bcastB) / nocBPC
+			energyB := mergeB + mF*kF*mulBytes*(fmin(cores, tiles)-1)*multicastShare
+			coresB := fmin(cores, tiles)
+			tusB := fmin(totalTUs, tiles*fmax(1, math.Floor(totalTUs/tiles)))
 
 			// ---- C: M-split across cores (data/spatial parallel) -----------
 			// Splitting the spatial/batch dimension across cores needs halo
 			// rows around every slice (Space-to-Batch keeps the halos small
 			// but not free); the scheduler searches the core count that
 			// balances parallelism against halo recompute.
-			{
-				// Without Space-to-Batch only whole frames distribute;
-				// with it, spatial slices parallelize too (at halo cost).
-				coresMax := math.Min(cores, float64(batch))
-				if opt.SpaceToBatch {
-					coresMax = math.Min(cores, math.Max(coresMax, math.Floor(mF/32)))
-				}
-				// Distinct frames split for free; only splits beyond the
-				// batch dimension cut spatially and pay halos.
-				halo := func(n float64) float64 {
-					spatial := math.Max(1, n/float64(batch))
-					return 1 + haloPerCore*(spatial-1)
-				}
-				coresM := 1.0
-				bestC := math.Inf(1)
-				for n := 1.0; n <= coresMax; n *= 2 {
-					if t := math.Ceil(mF/n) * halo(n); t < bestC {
-						bestC, coresM = t, n
-					}
-				}
-				mc := math.Ceil(mF/coresM) * halo(coresM)
-				roundsC := math.Ceil(tiles / tuPerCore)
-				cC := roundsC*(mc+bubble) + oneTime
-				wb := 0.0
-				if coresM > 1 {
-					wb = kF * nF * mulBytes // weights replicate, one crossing
-				}
-				vuC := 0.0 // intra-core accumulation in the accumulator buffer
-				cands = append(cands, mapping{
-					name: "m-split", compute: cC, noc: wb / nocBPC, vu: vuC,
-					nocEnergy: kF * nF * mulBytes * (coresM - 1) * multicastShare,
-					cores:     coresM,
-					tus:       math.Min(tuPerCore, tiles) * coresM,
-				})
+			// Without Space-to-Batch only whole frames distribute;
+			// with it, spatial slices parallelize too (at halo cost).
+			coresMax := fmin(cores, batchF)
+			if opt.SpaceToBatch {
+				coresMax = fmin(cores, fmax(coresMax, math.Floor(mF/32)))
 			}
+			// Distinct frames split for free; only splits beyond the
+			// batch dimension cut spatially and pay halos.
+			coresM := 1.0
+			bestT := math.Inf(1)
+			for n := 1.0; n <= coresMax; n *= 2 {
+				spatial := fmax(1, n/batchF)
+				if t := math.Ceil(mF/n) * (1 + haloPerCore*(spatial-1)); t < bestT {
+					bestT, coresM = t, n
+				}
+			}
+			spatialM := fmax(1, coresM/batchF)
+			mc := math.Ceil(mF/coresM) * (1 + haloPerCore*(spatialM-1))
+			roundsC := math.Ceil(tiles / tuPerCore)
+			compC := roundsC*(mc+bubble) + oneTime
+			wb := 0.0
+			if coresM > 1 {
+				wb = kF * nF * mulBytes // weights replicate, one crossing
+			}
+			vuC := 0.0 // intra-core accumulation in the accumulator buffer
+			nocC := wb / nocBPC
+			energyC := kF * nF * mulBytes * (coresM - 1) * multicastShare
+			tusC := fmin(tuPerCore, tiles) * coresM
 
-			best := cands[0]
-			cost := func(m mapping) float64 {
-				return math.Max(m.compute, m.noc) + m.noc*nocExposed + m.vu*0.25
+			// Pick cheapest: cost = max(compute, noc) + noc*exposed + vu/4,
+			// ties broken in A, B, C order exactly as the historical
+			// candidate-slice scan did.
+			mapName, compute, noc, vu := "n-split", compA, nocA, vuA
+			nocEnergy, coresUsed, tus := energyA, coresA, tusA
+			bestCost := fmax(compA, nocA) + nocA*nocExposed + vuA*0.25
+			if cB := fmax(compB, nocB) + nocB*nocExposed + vuB*0.25; cB < bestCost {
+				mapName, compute, noc, vu = "kn-split", compB, nocB, vuB
+				nocEnergy, coresUsed, tus = energyB, coresB, tusB
+				bestCost = cB
 			}
-			for _, m := range cands[1:] {
-				if cost(m) < cost(best) {
-					best = m
-				}
+			if cC := fmax(compC, nocC) + nocC*nocExposed + vuC*0.25; cC < bestCost {
+				mapName, compute, noc, vu = "m-split", compC, nocC, vuC
+				nocEnergy, coresUsed, tus = energyC, coresM, tusC
 			}
-			st.Mapping = best.name
-			compute, noc, vu := best.compute, best.noc, best.vu
-			merge, bcast := 0.0, best.nocEnergy
-			coresUsed := best.cores
-			streamMACs += compute * best.tus * x * x
+			merge, bcast := 0.0, nocEnergy
+			sm := compute * tus * x * x
+			streamMACs += sm
 
 			// Off-chip: stream weights when not resident; spill activations
 			// exceeding the on-chip memory.
@@ -353,30 +392,31 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 			vu += vops / lanes * 0.05
 
 			overhead := launchCycles + syncPerCore*coresUsed +
-				dispatchPerTile*tiles/math.Max(coresUsed, 1) +
-				c.NoC.AvgHops()*c.NoC.HopLatencyCycles()
-			var cyc float64
+				dispatchPerTile*tiles/fmax(coresUsed, 1) +
+				hopCycles
 			if opt.DoubleBuffer {
-				cyc = math.Max(compute, math.Max(noc, hbm)) + noc*nocExposed + vu*0.25 + overhead
+				cyc = fmax(compute, fmax(noc, hbm)) + noc*nocExposed + vu*0.25 + overhead
 			} else {
 				cyc = compute + noc + hbm + vu + overhead
 			}
-			st.ComputeCycles, st.NoCCycles, st.HBMCycles, st.VUCycles = compute, noc, hbm, vu
-			st.Overhead = overhead
-			st.Cycles = cyc
-			st.MACs = macs
 
 			// Traffic accounting for the runtime power model.
-			st.MemReadBytes = mF*kF*mulBytes*math.Min(nt, 4) + kF*nF*mulBytes
-			st.MemWriteBytes = mF * nF * mulBytes
-			st.NoCBytes = merge + bcast
-			st.HBMBytes = layerHBM
-			st.StreamMACs = compute * best.tus * x * x
-			memRead += st.MemReadBytes
-			memWrite += st.MemWriteBytes
-			nocBytes += st.NoCBytes
-			hbmBytes += st.HBMBytes
-		} else if l.Kind == graph.DepthwiseConv2D || l.Kind == graph.Pool || l.Kind == graph.GlobalPool {
+			mrd := mF*kF*mulBytes*fmin(nt, 4) + kF*nF*mulBytes
+			mwr := mF * nF * mulBytes
+			memRead += mrd
+			memWrite += mwr
+			nocBytes += merge + bcast
+			hbmBytes += layerHBM
+			if detail {
+				res.Layers = append(res.Layers, LayerStat{
+					Name: lv.name, Kind: lv.kind, Mapping: mapName,
+					Cycles: cyc, ComputeCycles: compute, NoCCycles: noc,
+					HBMCycles: hbm, VUCycles: vu, Overhead: overhead, MACs: macs,
+					MemReadBytes: mrd, MemWriteBytes: mwr,
+					NoCBytes: merge + bcast, HBMBytes: layerHBM, StreamMACs: sm,
+				})
+			}
+		} else if lv.kind == graph.DepthwiseConv2D || lv.kind == graph.Pool || lv.kind == graph.GlobalPool {
 			// Depthwise convolutions pack block-diagonally onto the tensor
 			// units: each channel is an independent (M x k^2) x (k^2 x 1)
 			// GEMM, so only floor(X/k^2) diagonal blocks of k^2 cells are
@@ -386,72 +426,85 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 			// vector unit by an order of magnitude.
 			// Pooling layers ride the same path: an average pool is a
 			// depthwise convolution with constant weights.
-			st.Mapping = "tu-depthwise"
-			kk := math.Max(1, float64(l.KH*l.KW))
-			if l.Kind == graph.GlobalPool {
-				kk = math.Min(float64(l.InH*l.InW), 64)
-			}
+			kk := lv.kk
 			work := macs
 			if work == 0 {
 				work = vops
 			}
 			compute := work / (totalTUs * x * x / kk)
 			overhead := launchCycles + syncPerCore*cores*0.5
-			st.ComputeCycles = compute
-			st.Overhead = overhead
-			st.Cycles = compute + overhead
-			st.MACs = macs
+			cyc = compute + overhead
 			// Imperfect row gating clocks ~2x the active cells.
-			st.StreamMACs = compute * totalTUs * math.Min(x*x*2/kk, x*x)
-			streamMACs += st.StreamMACs
-			st.MemReadBytes = float64(l.InBytes()) * float64(batch)
-			st.MemWriteBytes = float64(l.OutBytes()) * float64(batch)
-			memRead += st.MemReadBytes
-			memWrite += st.MemWriteBytes
+			sm := compute * totalTUs * fmin(x*x*2/kk, x*x)
+			streamMACs += sm
+			mrd := lv.inBytes * batchF
+			mwr := lv.outBytes * batchF
+			memRead += mrd
+			memWrite += mwr
+			if detail {
+				res.Layers = append(res.Layers, LayerStat{
+					Name: lv.name, Kind: lv.kind, Mapping: "tu-depthwise",
+					Cycles: cyc, ComputeCycles: compute, Overhead: overhead,
+					MACs: macs, MemReadBytes: mrd, MemWriteBytes: mwr, StreamMACs: sm,
+				})
+			}
 		} else {
 			// Vector-mapped layer (pool, eltwise, softmax, ...). XLA-style
 			// fusion folds most elementwise work into the producing matrix
 			// op's output stream, so only ~a quarter of the lane time is
 			// exposed, and fused ops skip the full launch cost.
-			st.Mapping = "vector"
 			vu := vops / (lanes * 2 * 0.5) // dual-issue lanes, stride/halo efficiency
 			overhead := launchCycles*0.3 + syncPerCore*cores*0.25
-			st.VUCycles = vu
-			st.Overhead = overhead
-			st.Cycles = vu*0.25 + overhead
-			st.MemReadBytes = float64(l.InBytes()) * float64(batch)
-			st.MemWriteBytes = float64(l.OutBytes()) * float64(batch)
-			memRead += st.MemReadBytes
-			memWrite += st.MemWriteBytes
+			cyc = vu*0.25 + overhead
+			mrd := lv.inBytes * batchF
+			mwr := lv.outBytes * batchF
+			memRead += mrd
+			memWrite += mwr
+			if detail {
+				res.Layers = append(res.Layers, LayerStat{
+					Name: lv.name, Kind: lv.kind, Mapping: "vector",
+					Cycles: cyc, VUCycles: vu, Overhead: overhead,
+					MemReadBytes: mrd, MemWriteBytes: mwr,
+				})
+			}
 		}
 		totalVecOps += vops
-		res.Cycles += st.Cycles
-		res.Layers = append(res.Layers, st)
+		res.Cycles += cyc
 		mLayers.Inc()
-		lspan.SetStr("layer", l.Name)
-		lspan.SetStr("mapping", st.Mapping)
-		lspan.SetFloat("cycles", st.Cycles)
-		lspan.SetFloat("macs", st.MACs)
-		lspan.End()
+		if detail {
+			_, lspan := obs.Start(ctx, "perfsim.layer")
+			lspan.SetStr("layer", lv.name)
+			lspan.SetStr("mapping", res.Layers[len(res.Layers)-1].Mapping)
+			lspan.SetFloat("cycles", cyc)
+			lspan.SetFloat("macs", macs)
+			lspan.End()
+		}
 	}
 	mSimulations.Inc()
 
 	res.TimeSec = res.Cycles / c.ClockHz()
 	res.LatencySec = res.TimeSec
-	res.FPS = float64(batch) / res.TimeSec
+	res.FPS = batchF / res.TimeSec
 	ops := 2 * totalMACs
 	res.AchievedTOPS = guard.CorruptFloat("perfsim.achieved_tops", ops/res.TimeSec/1e12)
 	res.Utilization = res.AchievedTOPS / c.PeakTOPS()
-	if ferr := guard.CheckFinites(
-		"cycles", res.Cycles, "time_sec", res.TimeSec, "fps", res.FPS,
-		"achieved_tops", res.AchievedTOPS, "utilization", res.Utilization,
-	); ferr != nil {
-		return nil, fmt.Errorf("perfsim: %s batch %d: %w", g.Name, batch, ferr)
+	// Finite-check the headline metrics. The common all-finite case is
+	// decided with plain comparisons (guard.CheckFinites boxes its variadic
+	// float64 pairs into interfaces, which allocates); the guard call runs
+	// only on failure so the returned error is byte-identical to the
+	// historical path.
+	if nonFinite(res.Cycles) || nonFinite(res.TimeSec) || nonFinite(res.FPS) ||
+		nonFinite(res.AchievedTOPS) || nonFinite(res.Utilization) {
+		ferr := guard.CheckFinites(
+			"cycles", res.Cycles, "time_sec", res.TimeSec, "fps", res.FPS,
+			"achieved_tops", res.AchievedTOPS, "utilization", res.Utilization,
+		)
+		return fmt.Errorf("perfsim: %s batch %d: %w", p.g.Name, batch, ferr)
 	}
 
 	// Padded/bubble cell-cycles carry zeros: they burn clock and control
 	// but toggle little datapath (~30% of a live MAC).
-	effectiveMACs := totalMACs + 0.3*math.Max(0, streamMACs-totalMACs)
+	effectiveMACs := totalMACs + 0.3*fmax(0, streamMACs-totalMACs)
 	act.TUMACsPerSec = effectiveMACs / res.TimeSec
 	act.VUOpsPerSec = totalVecOps / res.TimeSec
 	act.SUInstrPerSec = cores * c.ClockHz() * 0.10
@@ -460,7 +513,7 @@ func SimulateCtx(ctx context.Context, c *chip.Chip, g *graph.Graph, batch int, o
 	act.NoCBytesPerSec = nocBytes / res.TimeSec
 	act.OffChipBytesPerSec = hbmBytes / res.TimeSec
 	res.Activity = act
-	return res, nil
+	return nil
 }
 
 func offChipGBps(c *chip.Chip) float64 {

@@ -1,0 +1,86 @@
+package perfsim
+
+import (
+	"math"
+
+	"neurometer/internal/graph"
+	"neurometer/internal/guard"
+)
+
+// Graph preparation: everything about a layer that does not depend on the
+// chip being evaluated — MAC/vector-op counts, im2col GEMM dimensions,
+// activation footprints, the depthwise kernel packing factor — is a pure
+// function of the graph, yet the historical SimulateCtx recomputed it from
+// the layer table on every call (§"where time goes" in PERFORMANCE.md: ~15%
+// of a simulation). Prepare hoists that work into a read-only table computed
+// once per workload, which the batch engine amortizes across every candidate
+// sharing the graph.
+
+// layerVals is the chip-independent precomputation for one layer. All
+// quantities are stored as float64 exactly as the simulator's closed forms
+// consume them, so a prepared simulation performs bit-identical arithmetic
+// to the unprepared path.
+type layerVals struct {
+	name     string
+	kind     graph.OpKind
+	isMatrix bool
+	macs     float64 // per-frame MACs
+	vops     float64 // per-frame vector ops
+	m0       float64 // im2col GEMM M per frame (matrix ops only)
+	k0       float64 // im2col GEMM K
+	n0       float64 // im2col GEMM N
+	inBytes  float64 // per-frame input activation bytes
+	outBytes float64 // per-frame output activation bytes
+	kk       float64 // depthwise/pool effective kernel footprint
+}
+
+// Prepared is a validated workload graph with its per-layer closed-form
+// inputs precomputed. It is immutable after Prepare and safe for concurrent
+// use by any number of goroutines — the dse sweep engine shares one
+// Prepared per workload across its whole worker pool.
+type Prepared struct {
+	g      *graph.Graph
+	layers []layerVals
+	params float64 // float64(g.Params()), for the weights-residency test
+}
+
+// Prepare validates g once and precomputes the per-layer quantities every
+// simulation of g needs. Callers that evaluate many chips against one
+// workload should Prepare once and reuse it (or use SimulateBatch, which
+// does so internally); SimulateCtx re-prepares on every call.
+func Prepare(g *graph.Graph) (*Prepared, error) {
+	if g == nil {
+		return nil, guard.Invalid("perfsim: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, guard.Invalid("perfsim: %v", err)
+	}
+	p := &Prepared{
+		g:      g,
+		layers: make([]layerVals, len(g.Layers)),
+		params: float64(g.Params()),
+	}
+	for i := range g.Layers {
+		l := &g.Layers[i]
+		lv := &p.layers[i]
+		lv.name = l.Name
+		lv.kind = l.Kind
+		lv.isMatrix = l.Kind.IsMatrixOp()
+		lv.macs = float64(l.MACs())
+		lv.vops = float64(l.VectorOps())
+		if lv.isMatrix {
+			m0, k0, n0 := l.GEMM()
+			lv.m0, lv.k0, lv.n0 = float64(m0), float64(k0), float64(n0)
+		}
+		lv.inBytes = float64(l.InBytes())
+		lv.outBytes = float64(l.OutBytes())
+		lv.kk = math.Max(1, float64(l.KH*l.KW))
+		if l.Kind == graph.GlobalPool {
+			lv.kk = math.Min(float64(l.InH*l.InW), 64)
+		}
+	}
+	return p, nil
+}
+
+// Graph returns the underlying workload graph.
+func (p *Prepared) Graph() *graph.Graph { return p.g }

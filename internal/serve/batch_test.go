@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The simulate-batch wire contract: one prepared workload across many
+// candidate configs, per-candidate failures isolated inside a 200, and every
+// successful entry identical to what the single-candidate endpoint returns
+// for the same config.
+
+func TestSimulateBatchMatchesSingleEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	status, _, batch := doJSON(t, "POST", ts.URL+"/v1/perfsim/simulate-batch",
+		`{"workload":"resnet50","batch":8,"configs":[{"preset":"tpuv1"},{"preset":"tpuv2"},{"preset":"eyeriss"}]}`)
+	if status != 200 {
+		t.Fatalf("simulate-batch: %d %v", status, batch)
+	}
+	if failed, _ := batch["failed"].(float64); failed != 0 {
+		t.Fatalf("failed = %v, want 0", batch["failed"])
+	}
+	entries, _ := batch["results"].([]any)
+	if len(entries) != 3 {
+		t.Fatalf("got %d results, want 3", len(entries))
+	}
+	for i, preset := range []string{"tpuv1", "tpuv2", "eyeriss"} {
+		status, _, single := doJSON(t, "POST", ts.URL+"/v1/perfsim/simulate",
+			`{"preset":"`+preset+`","workload":"resnet50","batch":8}`)
+		if status != 200 {
+			t.Fatalf("simulate %s: %d %v", preset, status, single)
+		}
+		entry, _ := entries[i].(map[string]any)
+		got, _ := entry["result"].(map[string]any)
+		if !reflect.DeepEqual(got, single) {
+			t.Errorf("batch entry %d (%s) differs from single-candidate response:\nbatch:  %v\nsingle: %v",
+				i, preset, got, single)
+		}
+	}
+}
+
+func TestSimulateBatchIsolatesCandidateFailures(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	status, _, body := doJSON(t, "POST", ts.URL+"/v1/perfsim/simulate-batch",
+		`{"workload":"alexnet","batch":4,"configs":[{"preset":"tpuv1"},{"preset":"no-such-chip"},{"preset":"tpuv2"}]}`)
+	if status != 200 {
+		t.Fatalf("mixed batch must still be 200: %d %v", status, body)
+	}
+	if failed, _ := body["failed"].(float64); failed != 1 {
+		t.Fatalf("failed = %v, want 1", body["failed"])
+	}
+	entries, _ := body["results"].([]any)
+	if len(entries) != 3 {
+		t.Fatalf("got %d results, want 3", len(entries))
+	}
+	bad, _ := entries[1].(map[string]any)
+	if bad["kind"] != "invalid-config" || bad["result"] != nil {
+		t.Fatalf("failed entry = %v, want kind=invalid-config and no result", bad)
+	}
+	for _, i := range []int{0, 2} {
+		entry, _ := entries[i].(map[string]any)
+		res, _ := entry["result"].(map[string]any)
+		if fps, _ := res["fps"].(float64); fps <= 0 {
+			t.Fatalf("entry %d fps = %v, want > 0 (neighbor of a failed candidate)", i, entry)
+		}
+	}
+}
+
+func TestSimulateBatchRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	for name, body := range map[string]string{
+		"no configs":       `{"workload":"alexnet","batch":4,"configs":[]}`,
+		"unknown workload": `{"workload":"gpt7","batch":4,"configs":[{"preset":"tpuv1"}]}`,
+	} {
+		status, _, resp := doJSON(t, "POST", ts.URL+"/v1/perfsim/simulate-batch", body)
+		if status != 400 || resp["kind"] != "invalid-config" {
+			t.Errorf("%s: %d %v, want 400 invalid-config", name, status, resp)
+		}
+	}
+
+	// One config past the documented bound.
+	cfgs := make([]string, maxBatchConfigs+1)
+	for i := range cfgs {
+		cfgs[i] = `{"preset":"tpuv1"}`
+	}
+	over := `{"workload":"alexnet","batch":4,"configs":[` + strings.Join(cfgs, ",") + `]}`
+	if !json.Valid([]byte(over)) {
+		t.Fatal("test body is not valid JSON")
+	}
+	status, _, resp := doJSON(t, "POST", ts.URL+"/v1/perfsim/simulate-batch", over)
+	if status != 400 || resp["kind"] != "invalid-config" {
+		t.Fatalf("oversized config list: %d %v, want 400 invalid-config", status, resp)
+	}
+}

@@ -193,6 +193,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metricz", s.metricz)
 	s.mux.Handle("POST /v1/chip/build", s.handle("chip.build", s.limBuild, s.buildHandler))
 	s.mux.Handle("POST /v1/perfsim/simulate", s.handle("perfsim.simulate", s.limSim, s.simulateHandler))
+	s.mux.Handle("POST /v1/perfsim/simulate-batch", s.handle("perfsim.simulate_batch", s.limSim, s.simulateBatchHandler))
 	s.mux.Handle("POST /v1/dse/study", s.handle("dse.study", nil, s.studySubmit))
 	s.mux.Handle("GET /v1/dse/study/{id}", s.handle("dse.study.get", nil, s.studyGet))
 	s.mux.Handle("POST /v1/worker/eval", s.handle("worker.eval", s.limWorker, s.workerEval))
@@ -393,6 +394,132 @@ func (s *Server) simulateHandler(r *http.Request) (int, any, error) {
 		TOPSPerWatt:  e.TOPSPerWatt,
 		TOPSPerTCO:   e.TOPSPerTCO,
 	}, nil
+}
+
+// ---- /v1/perfsim/simulate-batch -------------------------------------------
+
+// maxBatchConfigs bounds the candidate list of one simulate-batch request.
+// The endpoint exists to amortize workload preparation across candidates,
+// not to smuggle a whole design-space sweep past the study-job machinery —
+// use POST /v1/dse/study for sweeps that need checkpoints and admission as
+// long-running work.
+const maxBatchConfigs = 256
+
+// SimulateBatchRequest evaluates one workload at one batch size across many
+// candidate chips in a single call. The workload graph is validated and
+// prepared once and shared by every candidate (perfsim.SimulateBatch).
+type SimulateBatchRequest struct {
+	Workload string           `json:"workload"`
+	Batch    int              `json:"batch"`
+	Options  *perfsim.Options `json:"options,omitempty"` // nil = all optimizations on
+	Configs  []ChipRequest    `json:"configs"`
+}
+
+// SimulateBatchEntry is one candidate's outcome: a result, or a failure in
+// (kind, error) form — the same taxonomy classes error responses carry. A
+// failed candidate never disturbs its neighbors.
+type SimulateBatchEntry struct {
+	Result *SimulateResponse `json:"result,omitempty"`
+	Kind   string            `json:"kind,omitempty"`
+	Err    string            `json:"error,omitempty"`
+}
+
+// SimulateBatchResponse is the simulate-batch wire format. Results[i]
+// corresponds to Configs[i].
+type SimulateBatchResponse struct {
+	Workload string               `json:"workload"`
+	Batch    int                  `json:"batch"`
+	Failed   int                  `json:"failed"`
+	Results  []SimulateBatchEntry `json:"results"`
+}
+
+// simulateBatchHandler runs one workload across many candidate chips.
+// Request-level problems (unknown workload, no/too many configs, invalid
+// batch) fail the call; per-candidate problems (unresolvable config,
+// infeasible chip, non-finite metrics) land in that candidate's entry with
+// status 200. Admission, deadline, and body-size limits are the simulate
+// endpoint's — one batch call occupies one simulate slot.
+func (s *Server) simulateBatchHandler(r *http.Request) (int, any, error) {
+	var req SimulateBatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return 0, nil, err
+	}
+	if len(req.Configs) == 0 {
+		return 0, nil, guard.Invalid("simulate-batch: no configs")
+	}
+	if len(req.Configs) > maxBatchConfigs {
+		return 0, nil, guard.Invalid("simulate-batch: %d configs exceeds the %d limit",
+			len(req.Configs), maxBatchConfigs)
+	}
+	g, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return 0, nil, guard.Invalid("%v", err)
+	}
+	p, err := perfsim.Prepare(g)
+	if err != nil {
+		return 0, nil, err
+	}
+	opt := perfsim.DefaultOptions()
+	if req.Options != nil {
+		opt = *req.Options
+	}
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	resp := SimulateBatchResponse{
+		Workload: g.Name,
+		Batch:    batch,
+		Results:  make([]SimulateBatchEntry, len(req.Configs)),
+	}
+	// Resolve every candidate chip first; a config that does not build is a
+	// per-entry failure and its slot stays nil through the batch (perfsim
+	// skips nothing — a nil chip fails candidate validation — but the build
+	// error recorded here wins).
+	chips := make([]*chip.Chip, len(req.Configs))
+	for i, cr := range req.Configs {
+		c, rerr := cr.resolve()
+		if rerr != nil {
+			resp.Results[i] = SimulateBatchEntry{Kind: guard.Kind(rerr), Err: rerr.Error()}
+			continue
+		}
+		chips[i] = c
+	}
+	br, err := p.SimulateBatch(r.Context(), batch, opt, chips)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer br.Release()
+	for i := range resp.Results {
+		if resp.Results[i].Err != "" {
+			continue // config never built; keep the build error
+		}
+		if serr := br.Errs[i]; serr != nil {
+			resp.Results[i] = SimulateBatchEntry{Kind: guard.Kind(serr), Err: serr.Error()}
+			continue
+		}
+		res := &br.Results[i]
+		c := chips[i]
+		e := c.Efficiency(res.AchievedTOPS*1e12, res.Activity)
+		resp.Results[i].Result = &SimulateResponse{
+			Chip:         c.Cfg.Name,
+			Workload:     g.Name,
+			Batch:        batch,
+			FPS:          res.FPS,
+			LatencyMS:    res.LatencySec * 1e3,
+			AchievedTOPS: res.AchievedTOPS,
+			Utilization:  res.Utilization,
+			PowerW:       e.PowerW,
+			TOPSPerWatt:  e.TOPSPerWatt,
+			TOPSPerTCO:   e.TOPSPerTCO,
+		}
+	}
+	for _, en := range resp.Results {
+		if en.Err != "" {
+			resp.Failed++
+		}
+	}
+	return http.StatusOK, resp, nil
 }
 
 // ---- /v1/worker/eval ------------------------------------------------------

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run the pinned benchmarks (cmd/bench) and append today's record to the
+# committed benchmark trajectory as BENCH_<date>.json.
+#
+# Usage:
+#   scripts/bench.sh                 full windows, write BENCH_<date>.json
+#   scripts/bench.sh --smoke         CI mode: short windows
+#   scripts/bench.sh --gate          also compare against BENCH_baseline.json
+#                                    and fail on >15% candidates/sec regression
+#
+# Flags combine; anything else is passed through to cmd/bench.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+args=()
+gate=0
+for a in "$@"; do
+  case "$a" in
+    --smoke) args+=(-smoke) ;;
+    --gate) gate=1 ;;
+    *) args+=("$a") ;;
+  esac
+done
+if [[ $gate -eq 1 ]]; then
+  args+=(-compare BENCH_baseline.json)
+fi
+
+out="BENCH_$(date -u +%Y-%m-%d).json"
+go run ./cmd/bench "${args[@]}" -out "$out"
+echo "bench: wrote $out"
