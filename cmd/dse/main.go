@@ -46,7 +46,9 @@
 //	                output stays byte-identical to a -workers 1 run at any
 //	                fleet size and under any worker failures.
 //	-fleet-shard-size n / -fleet-lease d / -fleet-hedge-after d /
-//	-fleet-max-attempts n   tune the fleet envelope (0 = defaults)
+//	-fleet-max-attempts n   tune the fleet envelope; invalid combinations
+//	                (non-positive lease, hedge ≥ lease, attempts < 1) fail
+//	                fast at startup with exit 2
 //
 // SIGINT interrupts a sweep gracefully: in-flight state is flushed to the
 // checkpoint (when armed) and the process exits with kind=canceled.
@@ -130,16 +132,24 @@ func main() {
 	flag.StringVar(&hf.csv, "csv", "", "also write -fig 10 rows as CSV at <prefix>.<regime>.csv")
 	flag.StringVar(&hf.store, "result-store", "", "persistent per-candidate result store directory for the -fig 10 sweep (verified read-through cache; faults degrade to evaluation)")
 	flag.StringVar(&hf.fleet, "fleet", "", "comma-separated neurometerd worker URLs: distribute the -fig 10 sweep across them")
-	flag.IntVar(&hf.fleetShard, "fleet-shard-size", 0, "candidates per fleet shard (0 = default)")
-	flag.DurationVar(&hf.fleetLease, "fleet-lease", 0, "per-shard lease TTL before requeue (0 = default)")
-	flag.DurationVar(&hf.fleetHedge, "fleet-hedge-after", 0, "hedge a straggling shard on a second worker after this long (0 = default, negative disables)")
-	flag.IntVar(&hf.fleetAttempts, "fleet-max-attempts", 0, "max attempts per shard before local fallback (0 = default)")
+	flag.IntVar(&hf.fleetShard, "fleet-shard-size", fleet.DefaultShardSize, "candidates per fleet shard")
+	flag.DurationVar(&hf.fleetLease, "fleet-lease", fleet.DefaultLeaseTTL, "per-shard lease TTL before requeue")
+	flag.DurationVar(&hf.fleetHedge, "fleet-hedge-after", fleet.DefaultHedgeAfter, "hedge a straggling shard on a second worker after this long (negative disables)")
+	flag.IntVar(&hf.fleetAttempts, "fleet-max-attempts", fleet.DefaultMaxAttempts, "max attempts per shard before local fallback")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	stop, err := obsFlags.Setup()
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Fleet flags fail fast (exit 2) before any model work starts.
+	if hf.fleet != "" {
+		if err := fleet.ValidateFlags(hf.fleetLease, hf.fleetHedge, hf.fleetAttempts); err != nil {
+			guard.PrintErr("dse", err)
+			stop()
+			os.Exit(guard.ExitCode(err))
+		}
 	}
 	// SIGINT cancels the run context; the sweep loops notice it between
 	// candidates (and inside perfsim between layers), flush any armed

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"neurometer/internal/fleet"
+	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 	"neurometer/internal/rstore"
 	"neurometer/internal/serve"
@@ -76,11 +77,16 @@ func main() {
 	resultStore := flag.String("result-store", "", "persistent per-candidate result store directory shared by studies and /v1/worker/eval (empty disables; corrupt entries are quarantined and recomputed)")
 	retryJitter := flag.Int("retry-after-jitter", def.RetryAfterJitter, "seconds of uniform jitter added to Retry-After on 429 (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time for the graceful drain on SIGTERM/SIGINT")
-	fleetWorkers := flag.String("fleet", "", "comma-separated worker URLs; coordinator mode: shard study jobs across them")
-	fleetShardSize := flag.Int("fleet-shard-size", 0, "candidates per fleet shard (0 = default)")
-	fleetLease := flag.Duration("fleet-lease", 0, "per-shard lease TTL before requeue (0 = default)")
-	fleetHedge := flag.Duration("fleet-hedge-after", 0, "hedge a straggling shard on a second worker after this long (0 = default, negative disables)")
-	fleetAttempts := flag.Int("fleet-max-attempts", 0, "max attempts per shard before local fallback (0 = default)")
+	fleetWorkers := flag.String("fleet", "", "comma-separated worker URLs; coordinator mode: shard study jobs across them (workers may also join at runtime)")
+	fleetShardSize := flag.Int("fleet-shard-size", fleet.DefaultShardSize, "candidates per fleet shard")
+	fleetLease := flag.Duration("fleet-lease", fleet.DefaultLeaseTTL, "per-shard lease TTL before requeue")
+	fleetHedge := flag.Duration("fleet-hedge-after", fleet.DefaultHedgeAfter, "hedge a straggling shard on a second worker after this long (negative disables)")
+	fleetAttempts := flag.Int("fleet-max-attempts", fleet.DefaultMaxAttempts, "max attempts per shard before local fallback")
+	heartbeat := flag.Duration("heartbeat", fleet.DefaultHeartbeat, "coordinator: membership probe interval; worker: re-registration interval under -join (0 disables probing)")
+	suspectAfter := flag.Duration("suspect-after", fleet.DefaultSuspectAfter, "coordinator: mark a worker suspect after this long without a successful probe")
+	evictAfter := flag.Duration("evict-after", fleet.DefaultEvictAfter, "coordinator: evict a worker after this long without a successful probe (must exceed -suspect-after)")
+	joinURL := flag.String("join", "", "worker mode: coordinator base URL to register with at startup and re-register every -heartbeat (requires -advertise; incompatible with -fleet)")
+	advertise := flag.String("advertise", "", "worker mode: the URL the coordinator should dispatch to for this worker, e.g. http://10.0.0.7:8080")
 	accessLog := flag.String("access-log", "stderr", "structured JSON access log destination: stderr, off, or a file path")
 	slowRequest := flag.Duration("slow-request", def.SlowRequest, "flag access-log lines slow=true at or above this latency (negative disables)")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof debug endpoints (empty disables)")
@@ -93,6 +99,15 @@ func main() {
 		os.Exit(1)
 	}
 	defer stop()
+
+	// Fleet flags fail fast: a bad lease/hedge/attempts combination or a
+	// contradictory topology (-join with -fleet) is an invalid-config exit 2
+	// at startup, not a misbehaving study at first dispatch.
+	if err := validateFleetFlags(*fleetWorkers, *joinURL, *advertise, *fleetLease, *fleetHedge, *fleetAttempts); err != nil {
+		fmt.Fprintf(os.Stderr, "neurometerd: %v\n", err)
+		stop()
+		os.Exit(guard.ExitCode(err))
+	}
 
 	cfg := serve.Config{
 		BuildLimit:       *buildLimit,
@@ -133,19 +148,32 @@ func main() {
 	}
 	if *fleetWorkers != "" {
 		coord, err := fleet.New(fleet.Config{
-			Workers:     splitWorkers(*fleetWorkers),
-			ShardSize:   *fleetShardSize,
-			LeaseTTL:    *fleetLease,
-			HedgeAfter:  *fleetHedge,
-			MaxAttempts: *fleetAttempts,
+			Workers:      splitWorkers(*fleetWorkers),
+			ShardSize:    *fleetShardSize,
+			LeaseTTL:     *fleetLease,
+			HedgeAfter:   *fleetHedge,
+			MaxAttempts:  *fleetAttempts,
+			Heartbeat:    *heartbeat,
+			SuspectAfter: *suspectAfter,
+			EvictAfter:   *evictAfter,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "neurometerd: -fleet: %v\n", err)
 			stop()
-			os.Exit(1)
+			os.Exit(guard.ExitCode(err))
 		}
+		defer coord.Close()
 		cfg.Dispatch = coord.Dispatch
-		slog.Info("neurometerd: coordinator mode", "workers", coord.Workers())
+		cfg.Membership = coord.Membership()
+		slog.Info("neurometerd: coordinator mode", "workers", coord.Workers(),
+			"heartbeat", *heartbeat, "suspect_after", *suspectAfter, "evict_after", *evictAfter)
+	}
+	if *joinURL != "" {
+		cfg.Join = strings.TrimRight(*joinURL, "/")
+		cfg.Advertise = *advertise
+		cfg.JoinInterval = *heartbeat
+		slog.Info("neurometerd: worker mode, joining fleet",
+			"coordinator", cfg.Join, "advertise", cfg.Advertise, "interval", *heartbeat)
 	}
 	if err := run(cfg, *addr, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "neurometerd: %v\n", err)
@@ -186,6 +214,21 @@ func serveDebug(addr string) {
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		slog.Warn("neurometerd: debug listener failed", "addr", addr, "err", err)
 	}
+}
+
+// validateFleetFlags is the startup gate for the fleet topology flags; every
+// violation is an invalid-config error (exit code 2).
+func validateFleetFlags(fleetList, join, advertise string, lease, hedge time.Duration, attempts int) error {
+	if join != "" && fleetList != "" {
+		return guard.Invalid("-join and -fleet are mutually exclusive: a process is a worker that registers with a coordinator, or the coordinator itself")
+	}
+	if join != "" && advertise == "" {
+		return guard.Invalid("-join requires -advertise: the coordinator needs a URL to dispatch to")
+	}
+	if fleetList != "" {
+		return fleet.ValidateFlags(lease, hedge, attempts)
+	}
+	return nil
 }
 
 // splitWorkers parses the -fleet flag's comma-separated URL list.

@@ -109,6 +109,23 @@ func (b *breaker) trip(cooldown time.Duration, now time.Time) {
 	b.fails = 0
 }
 
+// probeReady reports whether the breaker would admit a half-open probe
+// right now, without reserving it the way allow does. The dispatch picker
+// uses this to let a suspect worker back into the primary rotation exactly
+// when its breaker is due a traffic probe — otherwise a suspect member
+// behind healthy live ones would never see the shard that readmits it.
+func (b *breaker) probeReady(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stOpen:
+		return !now.Before(b.until)
+	case stHalfOpen:
+		return !b.probing
+	}
+	return false
+}
+
 // current returns the state for tests and introspection.
 func (b *breaker) current() int {
 	b.mu.Lock()

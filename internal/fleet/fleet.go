@@ -24,12 +24,22 @@
 //     those candidates in-process. Losing the whole fleet slows a study
 //     down, it never fails or changes it.
 //
+// Membership (membership.go, probe.go): the worker set is a dynamic table,
+// not a fixed slice. Config.Workers seeds it; workers join and leave at
+// runtime through Membership.Register / Membership.Drain (the serve
+// /v1/worker/register and /v1/worker/drain endpoints), and a heartbeat
+// loop probes every member's /readyz, aging unresponsive workers through
+// live → suspect → evicted and readmitting recovered ones. Dispatch only
+// ever consumes a snapshot of the table, so the fleet heals itself while a
+// study is running.
+//
 // Determinism: workers run the same deterministic simulator on the same
 // exactly-serialized configs, the coordinator merges outcomes by candidate
 // index, and duplicate reports (hedging) are idempotent — so tables, CSV,
 // and checkpoint files are byte-identical to a serial in-process run at any
-// fleet size and any failure schedule. That property is what makes every
-// retry safe: re-evaluating a candidate cannot change the answer.
+// fleet size, any failure schedule, and any membership churn schedule. That
+// property is what makes every retry safe: re-evaluating a candidate cannot
+// change the answer.
 package fleet
 
 import (
@@ -60,12 +70,14 @@ var (
 	mAbandoned      = obs.NewCounter("fleet.shards_abandoned_total")
 )
 
-// Defaults for the zero-valued Config knobs.
+// Defaults for the zero-valued Config knobs. Exported so the CLIs can show
+// (and fail-fast validate against) the real values instead of a 0 sentinel.
 const (
-	defaultShardSize        = 4
-	defaultLeaseTTL         = 2 * time.Minute
-	defaultHedgeAfter       = 15 * time.Second
-	defaultMaxAttempts      = 4
+	DefaultShardSize   = 4
+	DefaultLeaseTTL    = 2 * time.Minute
+	DefaultHedgeAfter  = 15 * time.Second
+	DefaultMaxAttempts = 4
+
 	defaultBreakerThreshold = 3
 	defaultBreakerCooldown  = 10 * time.Second
 
@@ -78,8 +90,13 @@ const (
 // Workers resolves to a sensible default.
 type Config struct {
 	// Workers are the base URLs of neurometerd worker processes, e.g.
-	// "http://10.0.0.7:8080". At least one is required.
+	// "http://10.0.0.7:8080". They seed the membership table; at least one
+	// is required unless Dynamic is set (workers may then join at runtime
+	// via Membership.Register).
 	Workers []string
+	// Dynamic allows an empty Workers seed: the coordinator starts with no
+	// members and relies on runtime registration to populate the table.
+	Dynamic bool
 	// ShardSize is the number of candidates per shard. Smaller shards
 	// spread better and lose less work per worker death; larger shards
 	// amortize HTTP overhead.
@@ -100,38 +117,74 @@ type Config struct {
 	// BreakerCooldown later it gets a half-open probe.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Heartbeat enables the membership probe loop: every Heartbeat the
+	// coordinator GETs each member's /readyz under a Heartbeat-long
+	// deadline. 0 (the zero value) disables probing — membership then
+	// changes only through registration, drain, and breaker trips.
+	Heartbeat time.Duration
+	// SuspectAfter marks a member suspect after this long without a
+	// successful probe or eval (0 = DefaultSuspectAfter); EvictAfter
+	// evicts it (0 = DefaultEvictAfter). EvictAfter must exceed
+	// SuspectAfter.
+	SuspectAfter time.Duration
+	EvictAfter   time.Duration
 	// Client is the HTTP client used for worker calls. Defaults to a
 	// dedicated client with no overall timeout: attempts are bounded by
 	// the lease context, not the transport.
 	Client *http.Client
 }
 
-// Coordinator shards studies across a worker fleet. Safe for concurrent
-// use; one Coordinator can serve many studies.
-type Coordinator struct {
-	cfg      Config
-	workers  []string // normalized base URLs
-	breakers []*breaker
-	client   *http.Client
-	rr       atomic.Int64 // round-robin cursor
+// ValidateFlags fail-fast checks the CLI fleet knobs the way a Coordinator
+// would eventually trip over them, so a bad flag is an exit-2 at startup
+// instead of a misbehaving study at first dispatch: the lease must be
+// positive, the hedge delay must be shorter than the lease (negative
+// disables hedging), and at least one attempt must be allowed.
+func ValidateFlags(lease, hedge time.Duration, attempts int) error {
+	if lease <= 0 {
+		return guard.Invalid("fleet: -fleet-lease must be positive (got %v)", lease)
+	}
+	if hedge >= lease {
+		return guard.Invalid("fleet: -fleet-hedge-after (%v) must be shorter than -fleet-lease (%v); negative disables hedging", hedge, lease)
+	}
+	if attempts < 1 {
+		return guard.Invalid("fleet: -fleet-max-attempts must be at least 1 (got %d)", attempts)
+	}
+	return nil
 }
 
-// New validates cfg, applies defaults, and builds a Coordinator.
+// Coordinator shards studies across a worker fleet. Safe for concurrent
+// use; one Coordinator can serve many studies. Close releases the probe
+// loop (a Coordinator with Heartbeat disabled has nothing to release, but
+// Close is always safe to call).
+type Coordinator struct {
+	cfg    Config
+	m      *Membership
+	client *http.Client
+	rr     atomic.Int64 // round-robin cursor
+
+	closeOnce   sync.Once
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+}
+
+// New validates cfg, applies defaults, seeds the membership table, and
+// builds a Coordinator. With Heartbeat > 0 the membership probe loop starts
+// immediately; call Close to stop it.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
+	if len(cfg.Workers) == 0 && !cfg.Dynamic {
 		return nil, guard.Invalid("fleet: no workers configured")
 	}
 	if cfg.ShardSize <= 0 {
-		cfg.ShardSize = defaultShardSize
+		cfg.ShardSize = DefaultShardSize
 	}
 	if cfg.LeaseTTL <= 0 {
-		cfg.LeaseTTL = defaultLeaseTTL
+		cfg.LeaseTTL = DefaultLeaseTTL
 	}
 	if cfg.HedgeAfter == 0 {
-		cfg.HedgeAfter = defaultHedgeAfter
+		cfg.HedgeAfter = DefaultHedgeAfter
 	}
 	if cfg.MaxAttempts <= 0 {
-		cfg.MaxAttempts = defaultMaxAttempts
+		cfg.MaxAttempts = DefaultMaxAttempts
 	}
 	if cfg.BreakerThreshold <= 0 {
 		cfg.BreakerThreshold = defaultBreakerThreshold
@@ -139,23 +192,41 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = defaultBreakerCooldown
 	}
-	c := &Coordinator{cfg: cfg, client: cfg.Client}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = DefaultSuspectAfter
+	}
+	if cfg.EvictAfter <= 0 {
+		cfg.EvictAfter = DefaultEvictAfter
+	}
+	if cfg.EvictAfter <= cfg.SuspectAfter {
+		return nil, guard.Invalid("fleet: EvictAfter (%v) must exceed SuspectAfter (%v)",
+			cfg.EvictAfter, cfg.SuspectAfter)
+	}
+	c := &Coordinator{cfg: cfg, client: cfg.Client, m: newMembership(cfg.SuspectAfter, cfg.EvictAfter)}
 	if c.client == nil {
 		c.client = &http.Client{}
 	}
-	for _, w := range cfg.Workers {
-		w = strings.TrimRight(w, "/")
-		if w == "" {
-			return nil, guard.Invalid("fleet: empty worker URL")
-		}
-		if !strings.Contains(w, "://") {
-			w = "http://" + w
-		}
-		c.workers = append(c.workers, w)
-		c.breakers = append(c.breakers,
-			newBreaker(obs.NewGauge(obs.Name("fleet.breaker_state", "worker", metricName(w)))))
+	if err := c.m.seed(cfg.Workers, time.Now()); err != nil {
+		return nil, err
+	}
+	if cfg.Heartbeat > 0 {
+		pctx, cancel := context.WithCancel(context.Background())
+		c.probeCancel = cancel
+		c.probeDone = make(chan struct{})
+		go c.probeLoop(pctx)
 	}
 	return c, nil
+}
+
+// Close stops the membership probe loop (if running) and waits for it to
+// unwind. Idempotent and nil-safe on a Coordinator without heartbeats.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		if c.probeCancel != nil {
+			c.probeCancel()
+			<-c.probeDone
+		}
+	})
 }
 
 // metricName flattens a worker URL into a metric-name-safe suffix.
@@ -173,8 +244,13 @@ func metricName(url string) string {
 	}, url)
 }
 
-// Workers returns the normalized worker base URLs.
-func (c *Coordinator) Workers() []string { return append([]string(nil), c.workers...) }
+// Workers returns every known member's normalized base URL (any state),
+// sorted.
+func (c *Coordinator) Workers() []string { return c.m.urls() }
+
+// Membership exposes the coordinator's worker table — the serve layer
+// mounts its register/drain endpoints and /readyz summary on it.
+func (c *Coordinator) Membership() *Membership { return c.m }
 
 // Dispatch implements dse.Hardening.Dispatch: shard the pending candidates,
 // evaluate the shards across the fleet under the robustness envelope, and
@@ -185,15 +261,21 @@ func (c *Coordinator) Dispatch(ctx context.Context, sh dse.Shard, report func(ds
 	ctx, span := obs.Start(ctx, "fleet.dispatch")
 	defer span.End()
 	span.SetInt("candidates", int64(len(sh.Cands)))
-	span.SetInt("workers", int64(len(c.workers)))
+	span.SetInt("workers", int64(c.m.size()))
 
 	shards := splitShard(sh, c.cfg.ShardSize)
 	span.SetInt("shards", int64(len(shards)))
 
-	// Bound concurrency to a small multiple of the fleet size: enough to
+	// Bound concurrency to a small multiple of the table size: enough to
 	// keep every worker busy plus hedges, without thousands of goroutines
-	// contending for leases on a huge study.
-	sem := make(chan struct{}, 2*len(c.workers))
+	// contending for leases on a huge study. Sized off the full table (not
+	// just the live members) so workers joining mid-study find slots
+	// waiting for them.
+	width := 2 * c.m.size()
+	if width < 2 {
+		width = 2
+	}
+	sem := make(chan struct{}, width)
 	var wg sync.WaitGroup
 	for _, sub := range shards {
 		wg.Add(1)
@@ -231,7 +313,7 @@ func (c *Coordinator) runShard(ctx context.Context, sub dse.Shard, report func(d
 	ctx, span := obs.Start(ctx, "fleet.shard", obs.Int("candidates", int64(len(sub.Cands))))
 	defer span.End()
 
-	avoid := -1 // worker that failed the previous attempt
+	var avoid *member // worker that failed the previous attempt
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if guard.CtxErr(ctx) != nil {
 			return
@@ -274,12 +356,14 @@ func (c *Coordinator) runShard(ctx context.Context, sub dse.Shard, report func(d
 }
 
 // attempt runs one (possibly hedged) shard attempt. It returns the result,
-// or the index of the worker to avoid next time and the classified error.
-func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid int) (*dse.ShardResult, int, error) {
-	primary := c.pick(avoid, -1)
-	if primary < 0 {
-		// Every breaker is open: nothing to try until a cooldown elapses.
-		return nil, avoid, guard.Unavailable("fleet: no workers available (all breakers open)")
+// or the worker to avoid next time and the classified error.
+func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid *member) (*dse.ShardResult, *member, error) {
+	primary := c.pick(avoid, nil)
+	if primary == nil {
+		// No dispatchable member admits a shard right now: every breaker
+		// open, or the whole table is draining/evicted. Retryable — a
+		// cooldown may elapse, a probe may readmit, a worker may join.
+		return nil, avoid, guard.Unavailable("fleet: no workers available (breakers open or members drained/evicted)")
 	}
 
 	actx, cancel := context.WithCancel(ctx)
@@ -288,10 +372,10 @@ func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid int) (*d
 	type result struct {
 		res    *dse.ShardResult
 		err    error
-		worker int
+		worker *member
 	}
 	ch := make(chan result, 2)
-	launch := func(w int) {
+	launch := func(w *member) {
 		go func() {
 			res, err := c.evalOn(actx, w, sub)
 			ch <- result{res, err, w}
@@ -301,7 +385,7 @@ func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid int) (*d
 	inflight := 1
 
 	var hedgeC <-chan time.Time
-	if c.cfg.HedgeAfter > 0 && len(c.workers) > 1 {
+	if c.cfg.HedgeAfter > 0 && c.m.size() > 1 {
 		t := time.NewTimer(c.cfg.HedgeAfter)
 		defer t.Stop()
 		hedgeC = t.C
@@ -314,17 +398,20 @@ func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid int) (*d
 		case r := <-ch:
 			inflight--
 			if r.err == nil {
-				c.breakers[r.worker].success()
+				r.worker.breaker.success()
+				c.m.markSuccess(ctx, r.worker, time.Now())
 				return r.res, r.worker, nil
 			}
 			// A loser canceled by first-result-wins would have returned
 			// through the success arm already; here every error is real.
 			// Only worker-attributable transient failures feed the
 			// breaker — a shard the worker rejected as malformed says
-			// nothing about the worker's health.
+			// nothing about the worker's health. A breaker trip feeds the
+			// membership layer's suspicion in turn.
 			if guard.Retryable(r.err) && guard.CtxErr(ctx) == nil {
-				if c.breakers[r.worker].failure(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown, time.Now()) {
-					obs.Event(ctx, "fleet.breaker.open", obs.String("worker", c.workers[r.worker]))
+				if r.worker.breaker.failure(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown, time.Now()) {
+					obs.Event(ctx, "fleet.breaker.open", obs.String("worker", r.worker.url))
+					c.m.markSuspect(ctx, r.worker)
 				}
 			}
 			if firstErr == nil {
@@ -335,12 +422,12 @@ func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid int) (*d
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if w := c.pick(avoid, primary); w >= 0 {
+			if w := c.pick(avoid, primary); w != nil {
 				mHedges.Inc()
 				obs.Event(ctx, "fleet.hedge",
-					obs.String("primary", c.workers[primary]), obs.String("hedge", c.workers[w]))
+					obs.String("primary", primary.url), obs.String("hedge", w.url))
 				slog.DebugContext(ctx, "fleet: hedging slow shard",
-					"primary", c.workers[primary], "hedge", c.workers[w])
+					"primary", primary.url, "hedge", w.url)
 				launch(w)
 				inflight++
 			}
@@ -352,32 +439,56 @@ func (c *Coordinator) attempt(ctx context.Context, sub dse.Shard, avoid int) (*d
 	}
 }
 
-// pick selects the next worker in round-robin order whose breaker admits a
-// shard, skipping the excluded indices (pass -1 for none). When only
-// excluded workers are admissible, exclusion is relaxed for `avoid` (a
-// retry may reuse the failed worker if it is the only one left) but never
-// for `not` (a hedge must run on a different worker than its primary).
-func (c *Coordinator) pick(avoid, not int) int {
+// pick selects the next dispatchable member in round-robin order whose
+// breaker admits a shard, working from a membership snapshot: the primary
+// rotation first (excluding avoid and not), then with the avoid exclusion
+// relaxed (a retry may reuse the failed worker if it is the only one left),
+// then the remaining suspect members as a last resort. The `not` member is
+// never returned (a hedge must run on a different worker than its primary);
+// draining and evicted members are never dispatchable.
+func (c *Coordinator) pick(avoid, not *member) *member {
 	now := time.Now()
-	start := int(c.rr.Add(1)-1) % len(c.workers)
-	if start < 0 {
-		start += len(c.workers)
+	live, suspect := c.m.dispatchable()
+	// A suspect member whose breaker is due a half-open traffic probe
+	// rejoins the primary rotation: that probe shard is what readmits a
+	// recovered worker when heartbeats are disabled.
+	primary := live
+	var lastResort []*member
+	for _, w := range suspect {
+		if w.breaker.probeReady(now) {
+			primary = append(primary, w)
+		} else {
+			lastResort = append(lastResort, w)
+		}
 	}
-	for pass := 0; pass < 2; pass++ {
-		for i := 0; i < len(c.workers); i++ {
-			w := (start + i) % len(c.workers)
-			if w == not {
+	passes := [...]struct {
+		class     []*member
+		skipAvoid bool
+	}{
+		{primary, true},
+		{primary, false},
+		{lastResort, false},
+	}
+	for _, p := range passes {
+		n := len(p.class)
+		if n == 0 {
+			continue
+		}
+		start := int(c.rr.Add(1)-1) % n
+		if start < 0 {
+			start += n
+		}
+		for i := 0; i < n; i++ {
+			w := p.class[(start+i)%n]
+			if w == not || (p.skipAvoid && w == avoid) {
 				continue
 			}
-			if pass == 0 && w == avoid {
-				continue
-			}
-			if c.breakers[w].allow(now) {
+			if w.breaker.allow(now) {
 				return w
 			}
 		}
 	}
-	return -1
+	return nil
 }
 
 // evalOn posts the shard to one worker under a fresh lease and decodes the
@@ -389,8 +500,8 @@ func (c *Coordinator) pick(avoid, not int) int {
 // span's W3C traceparent, and the worker's serialized span subtree from the
 // response grafts under the span — so the merged study trace shows remote
 // per-candidate work nested exactly where it ran.
-func (c *Coordinator) evalOn(ctx context.Context, w int, sub dse.Shard) (*dse.ShardResult, error) {
-	ctx, span := obs.Start(ctx, "fleet.eval", obs.String("worker", c.workers[w]))
+func (c *Coordinator) evalOn(ctx context.Context, w *member, sub dse.Shard) (*dse.ShardResult, error) {
+	ctx, span := obs.Start(ctx, "fleet.eval", obs.String("worker", w.url))
 	defer span.End()
 	lctx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTTL)
 	defer cancel()
@@ -402,7 +513,7 @@ func (c *Coordinator) evalOn(ctx context.Context, w int, sub dse.Shard) (*dse.Sh
 	// The worker's own request deadline is aligned with the lease, so a
 	// worker holding an expired lease stops burning CPU on it.
 	url := fmt.Sprintf("%s/v1/worker/eval?timeout_ms=%d",
-		c.workers[w], c.cfg.LeaseTTL/time.Millisecond)
+		w.url, c.cfg.LeaseTTL/time.Millisecond)
 	req, err := http.NewRequestWithContext(lctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, guard.Invalid("fleet: build request: %v", err)
@@ -418,12 +529,12 @@ func (c *Coordinator) evalOn(ctx context.Context, w int, sub dse.Shard) (*dse.Sh
 			mLeaseExpired.Inc()
 			obs.Event(ctx, "fleet.lease_expired")
 			return nil, guard.KindError("timeout",
-				fmt.Sprintf("fleet: worker %s: lease expired after %v", c.workers[w], c.cfg.LeaseTTL))
+				fmt.Sprintf("fleet: worker %s: lease expired after %v", w.url, c.cfg.LeaseTTL))
 		}
 		if cerr := guard.CtxErr(ctx); cerr != nil {
 			return nil, cerr
 		}
-		return nil, guard.Unavailable("fleet: worker %s: %v", c.workers[w], err)
+		return nil, guard.Unavailable("fleet: worker %s: %v", w.url, err)
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
@@ -432,20 +543,20 @@ func (c *Coordinator) evalOn(ctx context.Context, w int, sub dse.Shard) (*dse.Sh
 			mLeaseExpired.Inc()
 			obs.Event(ctx, "fleet.lease_expired")
 			return nil, guard.KindError("timeout",
-				fmt.Sprintf("fleet: worker %s: lease expired mid-response after %v", c.workers[w], c.cfg.LeaseTTL))
+				fmt.Sprintf("fleet: worker %s: lease expired mid-response after %v", w.url, c.cfg.LeaseTTL))
 		}
-		return nil, guard.Unavailable("fleet: worker %s: read response: %v", c.workers[w], err)
+		return nil, guard.Unavailable("fleet: worker %s: read response: %v", w.url, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, classifyStatus(c.workers[w], resp.StatusCode, b)
+		return nil, classifyStatus(w.url, resp.StatusCode, b)
 	}
 	var res dse.ShardResult
 	if err := json.Unmarshal(b, &res); err != nil {
-		return nil, guard.Unavailable("fleet: worker %s: malformed response: %v", c.workers[w], err)
+		return nil, guard.Unavailable("fleet: worker %s: malformed response: %v", w.url, err)
 	}
 	if len(res.Outcomes) != len(sub.Cands) {
 		return nil, guard.Unavailable("fleet: worker %s: returned %d outcomes for %d candidates",
-			c.workers[w], len(res.Outcomes), len(sub.Cands))
+			w.url, len(res.Outcomes), len(sub.Cands))
 	}
 	span.Graft(res.Spans)
 	return &res, nil

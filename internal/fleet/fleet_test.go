@@ -329,8 +329,13 @@ func TestFleetBreakerIsolatesAndReadmits(t *testing.T) {
 	if got != want {
 		t.Fatalf("output with broken worker differs from serial")
 	}
-	if c.breakers[0].current() != stOpen {
-		t.Fatalf("erroring worker's breaker = %d, want open (%d)", c.breakers[0].current(), stOpen)
+	flakyBreaker := c.m.lookup(flaky.URL).breaker
+	if flakyBreaker.current() != stOpen {
+		t.Fatalf("erroring worker's breaker = %d, want open (%d)", flakyBreaker.current(), stOpen)
+	}
+	// A breaker trip also feeds membership suspicion.
+	if st := c.m.States()[flaky.URL]; st != StateSuspect {
+		t.Fatalf("erroring worker's membership state = %v, want suspect", st)
 	}
 
 	// Recovery: after the cooldown, the next study's probe should close
@@ -341,8 +346,8 @@ func TestFleetBreakerIsolatesAndReadmits(t *testing.T) {
 	if got != want {
 		t.Fatalf("output after worker recovery differs from serial")
 	}
-	if c.breakers[0].current() != stClosed {
-		t.Fatalf("recovered worker's breaker = %d, want closed (%d)", c.breakers[0].current(), stClosed)
+	if flakyBreaker.current() != stClosed {
+		t.Fatalf("recovered worker's breaker = %d, want closed (%d)", flakyBreaker.current(), stClosed)
 	}
 }
 

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"neurometer/internal/guard"
+	"neurometer/internal/obs"
+)
+
+var (
+	mProbes       = obs.NewCounter("fleet.probes_total")
+	mProbeFailed  = obs.NewCounter("fleet.probe_failures_total")
+	mMemberEvents = obs.NewCounter("fleet.member_events_total")
+)
+
+// probeLoop drives the membership heartbeat: every cfg.Heartbeat it probes
+// each member's /readyz in parallel and feeds the outcomes through
+// Membership.probeResult, which ages unresponsive members toward eviction
+// and readmits recovered ones. Started by New when Heartbeat > 0; stopped
+// by Close.
+func (c *Coordinator) probeLoop(ctx context.Context) {
+	defer close(c.probeDone)
+	t := time.NewTicker(c.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.probeAll(ctx, time.Now())
+		}
+	}
+}
+
+// probeAll runs one probe round over the full table (every state — an
+// evicted member that answers again is readmitted). Exposed to tests so a
+// churn schedule can be driven with a controlled clock instead of waiting
+// out real heartbeat intervals.
+func (c *Coordinator) probeAll(ctx context.Context, now time.Time) {
+	members := c.m.all()
+	var wg sync.WaitGroup
+	for _, mb := range members {
+		wg.Add(1)
+		go func(mb *member) {
+			defer wg.Done()
+			c.m.probeResult(ctx, mb, c.probeOne(ctx, mb), now)
+		}(mb)
+	}
+	wg.Wait()
+}
+
+// probeOne GETs one member's /readyz under a Heartbeat-long deadline (or
+// one second when heartbeats are disabled and a test calls probeAll
+// directly). Success is exactly HTTP 200: a draining or shedding worker
+// answering 503 is a failed probe, which is what lets a drained-and-gone
+// process age out of the table. The fleet.heartbeat fault site injects
+// probe failures for chaos tests.
+func (c *Coordinator) probeOne(ctx context.Context, mb *member) bool {
+	mProbes.Inc()
+	if err := guard.Inject(ctx, "fleet.heartbeat"); err != nil {
+		mProbeFailed.Inc()
+		return false
+	}
+	timeout := c.cfg.Heartbeat
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, mb.url+"/readyz", nil)
+	if err != nil {
+		mProbeFailed.Inc()
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		mProbeFailed.Inc()
+		return false
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		mProbeFailed.Inc()
+		return false
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package guard
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocRegistersEveryFaultSite pins the "complete registry" contract: the
+// fault-site section of doc.go must name every site string passed to
+// guard.Inject or guard.CorruptFloat anywhere in the production tree. A new
+// injection point without a registry entry fails here, not in review.
+func TestDocRegistersEveryFaultSite(t *testing.T) {
+	doc, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First argument is a context expression (ctx, r.Context(), nil, ...);
+	// the site is the first string literal.
+	siteRE := regexp.MustCompile(`guard\.(?:Inject|CorruptFloat)\(([^"]*?),\s*"([^"]+)"`)
+
+	sites := map[string][]string{} // site -> files using it
+	root := filepath.Join("..", "..")
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range siteRE.FindAllSubmatch(src, -1) {
+			site := string(m[2])
+			sites[site] = append(sites[site], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) < 9 {
+		t.Fatalf("found only %d fault sites in the tree — the call-site regex has likely rotted: %v",
+			len(sites), sites)
+	}
+	for site, files := range sites {
+		if !strings.Contains(string(doc), site) {
+			t.Errorf("fault site %q (used in %v) is not registered in doc.go", site, files)
+		}
+	}
+}

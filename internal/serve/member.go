@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"neurometer/internal/fleet"
+	"neurometer/internal/guard"
+)
+
+// Fleet membership endpoints and the worker-side join loop.
+//
+// Coordinator side: when Config.Membership is set, POST /v1/worker/register
+// and POST /v1/worker/drain (always mounted, under the worker limiter) feed
+// the coordinator's membership table, and /readyz grows a fleet summary.
+// On a process without a membership table the endpoints answer 400 — a
+// worker announcing itself to a non-coordinator is a deployment mistake
+// worth surfacing, not ignoring.
+//
+// Worker side: when Config.Join and Config.Advertise are set, a join loop
+// re-registers this process with the coordinator every JoinInterval — the
+// initial registration is how a hot-started worker enters the fleet, and
+// the periodic re-registration readmits it if the coordinator ever
+// suspected or evicted it (e.g. across a coordinator heartbeat outage).
+// Shutdown stops the loop and announces drain to the coordinator BEFORE
+// closing the listener, so the coordinator stops dispatching to a worker
+// that is about to disappear while the worker still finishes the shards it
+// holds.
+
+// MemberRequest is the register/drain wire format: the worker's advertised
+// base URL.
+type MemberRequest struct {
+	URL string `json:"url"`
+}
+
+// MemberResponse reports the worker's resulting membership state.
+type MemberResponse struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+}
+
+func (s *Server) workerRegister(r *http.Request) (int, any, error) {
+	var req MemberRequest
+	if err := decodeBody(r, &req); err != nil {
+		return 0, nil, err
+	}
+	if err := guard.Inject(r.Context(), "fleet.register"); err != nil {
+		return 0, nil, err
+	}
+	if s.cfg.Membership == nil {
+		return 0, nil, guard.Invalid("serve: not a fleet coordinator")
+	}
+	st, err := s.cfg.Membership.Register(r.Context(), req.URL, time.Now())
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, MemberResponse{URL: req.URL, State: st.String()}, nil
+}
+
+func (s *Server) workerDrain(r *http.Request) (int, any, error) {
+	var req MemberRequest
+	if err := decodeBody(r, &req); err != nil {
+		return 0, nil, err
+	}
+	if err := guard.Inject(r.Context(), "fleet.register"); err != nil {
+		return 0, nil, err
+	}
+	if s.cfg.Membership == nil {
+		return 0, nil, guard.Invalid("serve: not a fleet coordinator")
+	}
+	st, err := s.cfg.Membership.Drain(r.Context(), req.URL)
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, MemberResponse{URL: req.URL, State: st.String()}, nil
+}
+
+// joinLoop announces this worker to the coordinator immediately and then
+// every JoinInterval. Registration is idempotent on the coordinator side,
+// so the steady-state re-registration is a cheap worker-driven heartbeat
+// that also self-heals an eviction.
+func (s *Server) joinLoop(ctx context.Context) {
+	defer close(s.joinDone)
+	s.announce(ctx, "/v1/worker/register")
+	t := time.NewTicker(s.joinInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.announce(ctx, "/v1/worker/register")
+		}
+	}
+}
+
+func (s *Server) joinInterval() time.Duration {
+	if s.cfg.JoinInterval > 0 {
+		return s.cfg.JoinInterval
+	}
+	return fleet.DefaultHeartbeat
+}
+
+// announce POSTs this worker's advertised URL to one coordinator membership
+// endpoint. Failures are logged and retried on the next tick — a worker
+// that cannot reach its coordinator still serves /v1/worker/eval; the
+// coordinator's own probes decide its fate.
+func (s *Server) announce(ctx context.Context, path string) bool {
+	body, _ := json.Marshal(MemberRequest{URL: s.cfg.Advertise})
+	cctx, cancel := context.WithTimeout(ctx, s.joinInterval())
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost,
+		s.cfg.Join+path, bytes.NewReader(body))
+	if err != nil {
+		slog.WarnContext(ctx, "serve: fleet announce failed", "path", path, "err", err)
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		slog.WarnContext(ctx, "serve: fleet announce failed",
+			"coordinator", s.cfg.Join, "path", path, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		slog.WarnContext(ctx, "serve: fleet announce rejected",
+			"coordinator", s.cfg.Join, "path", path, "status", resp.StatusCode)
+		return false
+	}
+	return true
+}
+
+// announceDrain tells the coordinator to stop dispatching to this worker.
+// Called by Shutdown after the join loop has stopped (so a late
+// re-registration cannot undo the drain) and before the listener closes
+// (so shards already leased to this worker still complete and report).
+func (s *Server) announceDrain(ctx context.Context) {
+	if s.cfg.Join == "" || s.cfg.Advertise == "" {
+		return
+	}
+	if s.announce(ctx, "/v1/worker/drain") {
+		slog.InfoContext(ctx, "serve: announced drain to coordinator",
+			"coordinator", s.cfg.Join, "advertise", s.cfg.Advertise)
+	}
+}

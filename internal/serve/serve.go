@@ -15,6 +15,7 @@ import (
 	"neurometer/internal/apicfg"
 	"neurometer/internal/chip"
 	"neurometer/internal/dse"
+	"neurometer/internal/fleet"
 	"neurometer/internal/guard"
 	"neurometer/internal/obs"
 	"neurometer/internal/perfsim"
@@ -72,6 +73,20 @@ type Config struct {
 	// process the coordinator of a worker fleet. Candidates the dispatcher
 	// cannot resolve are evaluated in-process.
 	Dispatch func(ctx context.Context, sh dse.Shard, report func(dse.ShardOutcome))
+	// Membership, when non-nil, makes this process a fleet coordinator:
+	// POST /v1/worker/register and /v1/worker/drain feed this table, and
+	// /readyz carries its per-state worker counts. Typically
+	// fleet.Coordinator.Membership() alongside Dispatch.
+	Membership *fleet.Membership
+	// Join, when non-empty, makes this process a fleet worker that
+	// announces itself to the coordinator at this base URL: it registers at
+	// startup, re-registers every JoinInterval (self-healing a suspicion or
+	// eviction), and announces drain on Shutdown before the listener
+	// closes. Requires Advertise — the URL the coordinator should dispatch
+	// to for this worker.
+	Join         string
+	Advertise    string
+	JoinInterval time.Duration
 	// AccessLog, when non-nil, receives one structured line per request on
 	// the model endpoints (request id, route, status, disposition, latency,
 	// slow flag). nil disables access logging.
@@ -164,6 +179,9 @@ type Server struct {
 	draining   chan struct{} // closed when Shutdown begins
 	stopOnce   sync.Once
 	stopErr    error
+
+	joinCancel context.CancelFunc // non-nil when the join loop is running
+	joinDone   chan struct{}
 }
 
 // New builds a server from the config (zero fields take defaults).
@@ -197,6 +215,14 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/dse/study", s.handle("dse.study", nil, s.studySubmit))
 	s.mux.Handle("GET /v1/dse/study/{id}", s.handle("dse.study.get", nil, s.studyGet))
 	s.mux.Handle("POST /v1/worker/eval", s.handle("worker.eval", s.limWorker, s.workerEval))
+	s.mux.Handle("POST /v1/worker/register", s.handle("worker.register", s.limWorker, s.workerRegister))
+	s.mux.Handle("POST /v1/worker/drain", s.handle("worker.drain", s.limWorker, s.workerDrain))
+	if cfg.Join != "" && cfg.Advertise != "" {
+		jctx, jcancel := context.WithCancel(context.Background())
+		s.joinCancel = jcancel
+		s.joinDone = make(chan struct{})
+		go s.joinLoop(jctx)
+	}
 	return s
 }
 
@@ -220,6 +246,15 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopOnce.Do(func() {
 		close(s.draining)
+		// Fleet worker: stop the join loop first (a late re-registration
+		// must not undo the drain), then announce drain to the coordinator
+		// while the listener is still open — leased shards finish and
+		// report, new dispatch goes elsewhere.
+		if s.joinCancel != nil {
+			s.joinCancel()
+			<-s.joinDone
+		}
+		s.announceDrain(ctx)
 		httpErr := s.http.Shutdown(ctx) // listener close + connection drain
 		jobsErr := s.jobs.shutdown(ctx) // cancel studies, wait for flushes
 		s.baseCancel()
@@ -259,6 +294,10 @@ type readyzBody struct {
 	Reason              string `json:"reason,omitempty"`
 	ConsecutiveFailures int64  `json:"consecutive_failures"`
 	RunningJobs         int    `json:"running_jobs"`
+	// Fleet is the coordinator's membership summary (coordinator mode
+	// only): per-state worker counts, so load balancers and the CI chaos
+	// jobs can gate on fleet health without scraping metrics.
+	Fleet *fleet.MemberCounts `json:"fleet,omitempty"`
 }
 
 func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
@@ -266,6 +305,10 @@ func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
 		Ready:               true,
 		ConsecutiveFailures: s.wd.consecutive.Load(),
 		RunningJobs:         s.jobs.running(),
+	}
+	if s.cfg.Membership != nil {
+		c := s.cfg.Membership.Counts()
+		body.Fleet = &c
 	}
 	switch {
 	case s.isDraining():
