@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+)
+
+// Shrink minimizes a failing schedule to a smaller event set that still
+// violates an invariant, using greedy delta debugging: first re-confirm
+// the failure, then repeatedly try dropping chunks of events (halving the
+// chunk size down to single events), keeping any removal that still
+// fails. The result is 1-minimal with respect to single-event removal —
+// dropping any one remaining event makes the episode pass — which is the
+// strongest claim a replay-based shrinker can make without exploring
+// subsets exponentially.
+//
+// Episode verdicts are deterministic for a fixed schedule (see the
+// package comment), so each trial is trustworthy: a schedule that fails
+// once fails always, and the shrinker never "loses" the bug to timing.
+// maxEpisodes bounds the total replays (shrinking is O(n) episodes per
+// pass); when the budget runs out the best-so-far schedule is returned.
+func Shrink(ctx context.Context, r *Runner, sch *Schedule, maxEpisodes int) (*Schedule, error) {
+	budget := maxEpisodes
+	fails := func(events []Event) (bool, error) {
+		if budget <= 0 {
+			return false, fmt.Errorf("chaos: shrink budget exhausted")
+		}
+		budget--
+		trial := *sch
+		trial.Events = events
+		v, err := r.Run(ctx, &trial)
+		if err != nil {
+			return false, err
+		}
+		return !v.Passed, nil
+	}
+
+	failed, err := fails(sch.Events)
+	if err != nil {
+		return nil, err
+	}
+	if !failed {
+		return nil, fmt.Errorf("chaos: schedule for scenario %q seed %d passes — nothing to shrink", sch.Scenario, sch.Seed)
+	}
+
+	events := append([]Event(nil), sch.Events...)
+	for chunk := (len(events) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for {
+			removedAny := false
+			for start := 0; start < len(events); start += chunk {
+				end := start + chunk
+				if end > len(events) {
+					end = len(events)
+				}
+				trial := make([]Event, 0, len(events)-(end-start))
+				trial = append(trial, events[:start]...)
+				trial = append(trial, events[end:]...)
+				if len(trial) == 0 {
+					continue // the empty schedule passing is a given
+				}
+				stillFails, err := fails(trial)
+				if err != nil {
+					// Budget exhausted (or harness error): return the
+					// smallest failing schedule found so far.
+					slog.Warn("chaos: shrink stopped early", "err", err, "events", len(events))
+					out := *sch
+					out.Events = events
+					return &out, nil
+				}
+				if stillFails {
+					events = trial
+					removedAny = true
+					start -= chunk // re-examine the same offset
+				}
+			}
+			if !removedAny {
+				break
+			}
+		}
+	}
+	out := *sch
+	out.Events = events
+	slog.Info("chaos: shrunk schedule", "from", len(sch.Events), "to", len(events))
+	return &out, nil
+}

@@ -5,22 +5,18 @@ import (
 	"testing"
 	"time"
 
+	"neurometer/internal/chaos/invariants"
 	"neurometer/internal/guard"
-	"neurometer/internal/obs"
 )
 
 // checkGaugesDrained asserts the pool gauges returned to zero once a sweep
 // finished — the regression contract for the inflight-slot leak: panics and
 // timeouts inside candidate evaluation must not strand dse.eval_inflight or
-// dse.queue_depth above zero.
+// dse.queue_depth above zero. The check itself is the shared invariant the
+// chaos engine runs after every episode.
 func checkGaugesDrained(t *testing.T) {
 	t.Helper()
-	snap := obs.Default().Snapshot()
-	for _, name := range []string{"dse.eval_inflight", "dse.queue_depth"} {
-		if v := snap.Gauges[name]; v != 0 {
-			t.Errorf("gauge %s = %g after sweep, want 0", name, v)
-		}
-	}
+	invariants.RequireGaugesDrained(t, "dse.eval_inflight", "dse.queue_depth")
 }
 
 func TestGaugesDrainAfterPanickingCandidates(t *testing.T) {

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -16,14 +17,17 @@ var (
 	mMemberEvents = obs.NewCounter("fleet.member_events_total")
 )
 
-// probeLoop drives the membership heartbeat: every cfg.Heartbeat it probes
-// each member's /readyz in parallel and feeds the outcomes through
-// Membership.probeResult, which ages unresponsive members toward eviction
-// and readmits recovered ones. Started by New when Heartbeat > 0; stopped
-// by Close.
+// probeLoop drives the membership heartbeat: roughly every cfg.Heartbeat
+// it probes each member's /readyz in parallel and feeds the outcomes
+// through Membership.probeResult, which ages unresponsive members toward
+// eviction and readmits recovered ones. The interval is jittered (see
+// probeInterval) so a fleet of coordinators started together — or
+// restarted together after a deploy — does not probe every worker in
+// synchronized bursts, the same full-jitter reasoning Backoff applies to
+// shard retries. Started by New when Heartbeat > 0; stopped by Close.
 func (c *Coordinator) probeLoop(ctx context.Context) {
 	defer close(c.probeDone)
-	t := time.NewTicker(c.cfg.Heartbeat)
+	t := time.NewTimer(probeInterval(c.cfg.Heartbeat))
 	defer t.Stop()
 	for {
 		select {
@@ -31,8 +35,24 @@ func (c *Coordinator) probeLoop(ctx context.Context) {
 			return
 		case <-t.C:
 			c.probeAll(ctx, time.Now())
+			t.Reset(probeInterval(c.cfg.Heartbeat))
 		}
 	}
+}
+
+// probeInterval draws the next heartbeat delay: uniform in (h/2, h]. Full
+// jitter over the upper half of the interval decorrelates coordinators
+// while keeping two guarantees the membership aging math relies on: the
+// gap between probe rounds never exceeds the configured Heartbeat (so
+// SuspectAfter/EvictAfter thresholds, documented as multiples of
+// Heartbeat, still bound detection latency), and never drops below half
+// of it (so jitter cannot double probe load on the workers).
+func probeInterval(h time.Duration) time.Duration {
+	half := h / 2
+	if half <= 0 {
+		return h
+	}
+	return half + time.Duration(rand.Int63n(int64(h-half))+1)
 }
 
 // probeAll runs one probe round over the full table (every state — an

@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProbeIntervalBand pins the jitter contract: every draw lands in
+// (h/2, h] — never more than the configured Heartbeat (membership aging
+// thresholds stay valid) and never at or below half of it (probe load at
+// most doubles) — and the draws actually spread across the band instead
+// of collapsing onto one value.
+func TestProbeIntervalBand(t *testing.T) {
+	const h = 100 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	var lo, hi time.Duration = h, 0
+	for i := 0; i < 1000; i++ {
+		d := probeInterval(h)
+		if d <= h/2 || d > h {
+			t.Fatalf("draw %d: interval %v outside (%v, %v]", i, d, h/2, h)
+		}
+		seen[d] = true
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if len(seen) < 20 {
+		t.Errorf("1000 draws produced only %d distinct intervals — jitter is degenerate", len(seen))
+	}
+	// The extremes should use a decent share of the band, not cluster.
+	if band := h - h/2; hi-lo < band/2 {
+		t.Errorf("draws span only [%v, %v] of the (%v, %v] band", lo, hi, h/2, h)
+	}
+}
+
+// TestProbeIntervalDegenerate checks tiny heartbeats don't panic or zero
+// out the loop timer.
+func TestProbeIntervalDegenerate(t *testing.T) {
+	for _, h := range []time.Duration{1, 2, 3, time.Microsecond} {
+		if d := probeInterval(h); d <= 0 || d > h {
+			t.Errorf("probeInterval(%v) = %v, want in (0, %v]", h, d, h)
+		}
+	}
+}

@@ -18,9 +18,11 @@ func TestDocRegistersEveryFaultSite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// First argument is a context expression (ctx, r.Context(), nil, ...);
-	// the site is the first string literal.
-	siteRE := regexp.MustCompile(`guard\.(?:Inject|CorruptFloat)\(([^"]*?),\s*"([^"]+)"`)
+	// Inject's first argument is a context expression (ctx, r.Context(),
+	// nil, ...) and the site is the first string literal; CorruptFloat
+	// takes the site first.
+	injectRE := regexp.MustCompile(`guard\.Inject\([^"]*?,\s*"([^"]+)"`)
+	corruptRE := regexp.MustCompile(`guard\.CorruptFloat\(\s*"([^"]+)"`)
 
 	sites := map[string][]string{} // site -> files using it
 	root := filepath.Join("..", "..")
@@ -41,9 +43,11 @@ func TestDocRegistersEveryFaultSite(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		for _, m := range siteRE.FindAllSubmatch(src, -1) {
-			site := string(m[2])
-			sites[site] = append(sites[site], path)
+		for _, re := range []*regexp.Regexp{injectRE, corruptRE} {
+			for _, m := range re.FindAllSubmatch(src, -1) {
+				site := string(m[1])
+				sites[site] = append(sites[site], path)
+			}
 		}
 		return nil
 	})
@@ -57,6 +61,22 @@ func TestDocRegistersEveryFaultSite(t *testing.T) {
 	for site, files := range sites {
 		if !strings.Contains(string(doc), site) {
 			t.Errorf("fault site %q (used in %v) is not registered in doc.go", site, files)
+		}
+	}
+
+	// The machine-readable registry (sites.go) must match the tree exactly
+	// in both directions: every site used in production code is listed, and
+	// every listed site is actually used somewhere.
+	listed := map[string]bool{}
+	for _, site := range Sites() {
+		listed[site] = true
+		if _, used := sites[site]; !used {
+			t.Errorf("guard.Sites() lists %q but no production code injects at it", site)
+		}
+	}
+	for site, files := range sites {
+		if !listed[site] {
+			t.Errorf("fault site %q (used in %v) is missing from guard.Sites()", site, files)
 		}
 	}
 }

@@ -9,7 +9,9 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
 
 	"neurometer/internal/guard"
@@ -36,6 +38,28 @@ type DiskStore struct {
 	odir   string // <dir>/objects
 	qdir   string // <dir>/quarantine
 	report ScanReport
+
+	// qmu serializes quarantine-cap enforcement so concurrent quarantines
+	// can't double-evict (and double-count) the same victim.
+	qmu sync.Mutex
+}
+
+// Quarantine growth bounds. Quarantined entries are kept for inspection,
+// not forever: a store fed a stream of corrupt entries (bad disk, hostile
+// writer) must not grow quarantine/ without bound. When either cap is
+// exceeded the oldest entries rotate out first and rstore.quarantine_evicted
+// counts each removal. Variables (not constants) so the flood regression
+// test can tighten them; production uses the defaults.
+var (
+	quarantineMaxEntries = 256
+	quarantineMaxBytes   = int64(64 << 20)
+)
+
+// QuarantineLimits reports the active quarantine directory caps (max
+// entry count, max total bytes). Invariant checks use it to assert a
+// chaos episode's store stayed within bounds.
+func QuarantineLimits() (entries int, bytes int64) {
+	return quarantineMaxEntries, quarantineMaxBytes
 }
 
 // ScanReport summarizes the startup recovery scan.
@@ -242,6 +266,57 @@ func (s *DiskStore) quarantineFile(path string, reason error) {
 	}
 	slog.Warn("rstore: quarantined corrupt entry",
 		"entry", filepath.Base(path), "kind", guard.Kind(reason), "reason", reason)
+	s.enforceQuarantineCap()
+}
+
+// enforceQuarantineCap rotates quarantine/ down to the configured bounds,
+// oldest entry first (mtime, then name for same-second ties). Called
+// after every quarantine move; errors degrade silently — cap enforcement
+// is best-effort hygiene and must never turn a successful quarantine into
+// a failure.
+func (s *DiskStore) enforceQuarantineCap() {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	ents, err := os.ReadDir(s.qdir)
+	if err != nil {
+		return
+	}
+	type qfile struct {
+		name string
+		size int64
+		mod  int64 // unix nanos
+	}
+	files := make([]qfile, 0, len(ents))
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, qfile{e.Name(), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	if len(files) <= quarantineMaxEntries && total <= quarantineMaxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mod != files[j].mod {
+			return files[i].mod < files[j].mod
+		}
+		return files[i].name < files[j].name
+	})
+	for i := 0; i < len(files) && (len(files)-i > quarantineMaxEntries || total > quarantineMaxBytes); i++ {
+		if err := os.Remove(filepath.Join(s.qdir, files[i].name)); err != nil {
+			continue
+		}
+		total -= files[i].size
+		mQEvicted.Inc()
+		slog.Warn("rstore: rotated oldest quarantined entry out (quarantine cap)",
+			"entry", files[i].name)
+	}
 }
 
 // Close releases the store. The disk backend holds no open handles, so

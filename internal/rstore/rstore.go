@@ -63,6 +63,7 @@ var (
 	mWriteFailures = obs.NewCounter("rstore.write_failures")
 	mTmpRemoved    = obs.NewCounter("rstore.tmp_removed")
 	mDeduped       = obs.NewCounter("rstore.singleflight_deduped")
+	mQEvicted      = obs.NewCounter("rstore.quarantine_evicted")
 )
 
 // Cache is the process-facing face of a Store: read-path verification,

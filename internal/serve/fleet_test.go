@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"neurometer/internal/chaos/invariants"
 	"neurometer/internal/dse"
 	"neurometer/internal/fleet"
 	"neurometer/internal/graph"
@@ -131,6 +132,10 @@ func TestFleetStudyThroughServeByteIdentical(t *testing.T) {
 	if served.Load() < 2 {
 		t.Fatalf("dying worker served %d requests; the test never exercised it", served.Load())
 	}
+	coord.Close()
+	// The dispatch path must not strand inflight accounting, even with a
+	// worker dying mid-study — the same invariant every chaos episode ends on.
+	invariants.RequireGaugesDrained(t)
 }
 
 // TestBodyTooLarge: a request body past MaxBodyBytes is cut off with 413

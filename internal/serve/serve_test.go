@@ -7,11 +7,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"neurometer/internal/chaos/invariants"
 	"neurometer/internal/guard"
 )
 
@@ -246,7 +246,7 @@ func waitFor(t *testing.T, d time.Duration, cond func() bool) {
 // study) through a full server lifecycle and checks the goroutine count
 // returns to its baseline after Shutdown.
 func TestNoGoroutineLeakAcrossLifecycle(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := invariants.GoroutineBaseline()
 
 	s := New(Config{JobsDir: t.TempDir()})
 	ts := httptest.NewServer(s.Handler())
@@ -277,18 +277,6 @@ func TestNoGoroutineLeakAcrossLifecycle(t *testing.T) {
 	ts.Close()
 	client.CloseIdleConnections()
 
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		runtime.GC()
-		n := runtime.NumGoroutine()
-		if n <= base+2 { // tolerate runtime helpers
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
-				n, base, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	invariants.RequireNoGoroutineLeak(t, base)
+	invariants.RequireGaugesDrained(t)
 }
